@@ -1,0 +1,90 @@
+(* fdb_sim: the simulation-testing command line (paper §4).
+
+   Runs randomized whole-cluster simulations with fault injection and
+   buggification, evaluating every oracle. A failing seed prints its
+   report (and optionally the trace) and reproduces bit-identically.
+
+     dune exec bin/fdb_sim.exe -- swarm --seeds 20
+     dune exec bin/fdb_sim.exe -- run --seed 101 --duration 60 --trace *)
+
+open Cmdliner
+
+let run_seed ~buggify ~duration ~trace seed =
+  let report = Fdb_workloads.Swarm.run_one ~buggify ~duration ~seed () in
+  Format.printf "%a@." Fdb_workloads.Swarm.pp_report report;
+  if trace && report.Fdb_workloads.Swarm.oracle_failures <> [] then
+    Fdb_sim.Trace.dump Format.std_formatter ();
+  report.Fdb_workloads.Swarm.oracle_failures = []
+
+let swarm_cmd =
+  let seeds =
+    Arg.(value & opt int 10 & info [ "seeds"; "n" ] ~doc:"Number of random runs.")
+  in
+  let start =
+    Arg.(value & opt int 1 & info [ "start-seed" ] ~doc:"First seed (consecutive after).")
+  in
+  let duration =
+    Arg.(value & opt float 40.0 & info [ "duration" ] ~doc:"Simulated seconds of chaos per run.")
+  in
+  let no_buggify =
+    Arg.(value & flag & info [ "no-buggify" ] ~doc:"Disable buggification points.")
+  in
+  let action seeds start duration no_buggify =
+    let failures = ref 0 in
+    for s = start to start + seeds - 1 do
+      if not (run_seed ~buggify:(not no_buggify) ~duration ~trace:false (Int64.of_int s))
+      then incr failures
+    done;
+    Printf.printf "%d/%d runs passed all oracles.\n" (seeds - !failures) seeds;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "swarm" ~doc:"Run many randomized fault-injection simulations.")
+    Term.(const action $ seeds $ start $ duration $ no_buggify)
+
+let run_cmd =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let duration =
+    Arg.(value & opt float 40.0 & info [ "duration" ] ~doc:"Simulated seconds of chaos.")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Dump the event trace on oracle failure.")
+  in
+  let no_buggify =
+    Arg.(value & flag & info [ "no-buggify" ] ~doc:"Disable buggification points.")
+  in
+  let action seed duration trace no_buggify =
+    if not (run_seed ~buggify:(not no_buggify) ~duration ~trace (Int64.of_int seed)) then
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run (or replay) a single seeded simulation.")
+    Term.(const action $ seed $ duration $ trace $ no_buggify)
+
+let status_cmd =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.") in
+  let action seed =
+    let open Fdb_sim in
+    let open Fdb_core in
+    let report =
+      Engine.run ~seed:(Int64.of_int seed) ~max_time:1e4 (fun () ->
+          let open Future.Syntax in
+          let cluster = Cluster.create () in
+          let* () = Cluster.wait_ready cluster in
+          let db = Cluster.client cluster ~name:"status-demo" in
+          let* _ =
+            Client.run db (fun tx ->
+                Client.set tx "demo" "1";
+                Future.return ())
+          in
+          Fdb_workloads.Status.gather cluster)
+    in
+    Format.printf "%a@." Fdb_workloads.Status.pp report
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"Boot a simulated cluster and print its status report.")
+    Term.(const action $ seed)
+
+let () =
+  let doc = "deterministic simulation testing for the FoundationDB reproduction" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "fdb_sim" ~doc) [ swarm_cmd; run_cmd; status_cmd ]))

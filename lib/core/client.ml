@@ -1,0 +1,502 @@
+open Fdb_sim
+open Future.Syntax
+module Mutation = Fdb_kv.Mutation
+module KeyMap = Map.Make (String)
+module Rng = Fdb_util.Det_rng
+
+type db = {
+  ctx : Context.t;
+  proc : Process.t;
+  rng : Rng.t;
+  mutable proxies : int array;
+  mutable refreshing : bool;
+}
+
+let versionstamp_placeholder = String.make 10 '\x00'
+
+let create_db ctx proc =
+  { ctx; proc; rng = Engine.fork_rng (); proxies = [||]; refreshing = false }
+
+(* Find the ClusterController through the coordinators, then ask it for the
+   current proxies — the client's bootstrap path. *)
+let refresh db =
+  if db.refreshing then Engine.sleep 0.1
+  else begin
+    db.refreshing <- true;
+    Future.protect
+      ~finally:(fun () -> db.refreshing <- false)
+      (fun () ->
+        let transport = Context.paxos_transport db.ctx ~from:db.proc in
+        let* leader =
+          Future.catch
+            (fun () ->
+              Fdb_paxos.Election.leader_via transport ~reg:"cc-leader"
+                ~proposer:(Context.proposer_id db.proc))
+            (fun _ -> Future.return None)
+        in
+        match Option.bind leader int_of_string_opt with
+        | None -> Engine.sleep 0.1
+        | Some machine when machine >= Array.length db.ctx.Context.worker_eps ->
+            Engine.sleep 0.1
+        | Some machine ->
+            Future.catch
+              (fun () ->
+                let* reply =
+                  Context.rpc db.ctx ~timeout:1.0 ~from:db.proc
+                    db.ctx.Context.worker_eps.(machine) Message.Cc_get_state
+                in
+                (match reply with
+                | Message.Cc_state { st_proxies; st_recovered = true; _ } ->
+                    db.proxies <- Array.of_list st_proxies
+                | _ -> ());
+                Future.return ())
+              (fun _ -> Future.return ()))
+  end
+
+let pick_proxy db =
+  if Array.length db.proxies = 0 then None
+  else Some db.proxies.(Rng.int db.rng (Array.length db.proxies))
+
+(* Call some proxy, refreshing the proxy list and retrying a couple of
+   times on communication failures before giving up with a retryable
+   error for the [run] loop to handle. *)
+let proxy_call db msg =
+  let rec attempt n =
+    if n = 0 then Error.fail Error.Timed_out
+    else
+      match pick_proxy db with
+      | None ->
+          let* () = refresh db in
+          attempt (n - 1)
+      | Some ep ->
+          Future.catch
+            (fun () -> Context.rpc db.ctx ~timeout:5.0 ~from:db.proc ep msg)
+            (function
+              | Error.Fdb Error.Wrong_epoch | Error.Fdb Error.Database_locked
+              | Engine.Timed_out ->
+                  let* () = refresh db in
+                  attempt (n - 1)
+              | e -> Future.fail e)
+  in
+  attempt 4
+
+(* ---------- transactions ---------- *)
+
+type buffered =
+  | B_set of string
+  | B_clear
+  | B_atomic of (Mutation.atomic_kind * string) list (* application order *)
+
+type tx = {
+  db : db;
+  mutable read_version : (Types.version * Types.epoch) Future.t option;
+  mutable writes : buffered KeyMap.t;
+  mutable cleared : (string * string) list;
+  mutable mutations : Message.client_mutation list; (* reversed *)
+  mutable read_conflicts : (string * string) list;
+  mutable write_conflicts : (string * string) list;
+  mutable bytes : int;
+  mutable commit_result : Types.version Future.t option;
+}
+
+let begin_tx db =
+  {
+    db;
+    read_version = None;
+    writes = KeyMap.empty;
+    cleared = [];
+    mutations = [];
+    read_conflicts = [];
+    write_conflicts = [];
+    bytes = 0;
+    commit_result = None;
+  }
+
+let check_not_committed t =
+  if t.commit_result <> None then raise (Error.Fdb Error.Used_during_commit)
+
+let check_key k =
+  if String.length k > Types.key_size_limit then raise (Error.Fdb Error.Key_too_large);
+  if k >= Types.key_space_end then raise (Error.Fdb Error.Key_outside_legal_range)
+
+let check_value v =
+  if String.length v > Types.value_size_limit then raise (Error.Fdb Error.Value_too_large)
+
+(* The snapshot is (version, epoch): the epoch rides along on storage reads
+   so a StorageServer that has not yet heard about a recovery refuses to
+   serve newer-generation read versions (it might hold rolled-back data). *)
+let snapshot_info t =
+  match t.read_version with
+  | Some f -> f
+  | None ->
+      let f =
+        let* reply = proxy_call t.db Message.Grv_req in
+        match reply with
+        | Message.Grv_reply { gv_version; gv_epoch } ->
+            Future.return (gv_version, gv_epoch)
+        | _ -> Error.fail Error.Timed_out
+      in
+      t.read_version <- Some f;
+      f
+
+let get_read_version t = Future.map (snapshot_info t) fst
+let read_snapshot t = snapshot_info t
+let set_read_version t v = t.read_version <- Some (Future.return (v, 0))
+
+let add_read_conflict_range t ~from ~until =
+  if from < until then t.read_conflicts <- (from, until) :: t.read_conflicts
+
+let add_write_conflict_range t ~from ~until =
+  if from < until then t.write_conflicts <- (from, until) :: t.write_conflicts
+
+let in_cleared t k = List.exists (fun (f, u) -> f <= k && k < u) t.cleared
+
+(* ---------- raw storage reads ---------- *)
+
+let storage_get t key (version, rv_epoch) =
+  let team = Shard_map.team_for_key t.db.ctx.Context.shard_map key in
+  let replicas = Array.of_list team in
+  Rng.shuffle t.db.rng replicas;
+  let rec attempt i last_err =
+    if i >= Array.length replicas then Future.fail last_err
+    else
+      let ep = t.db.ctx.Context.storage_eps.(replicas.(i)) in
+      Future.catch
+        (fun () ->
+          let* reply =
+            Context.rpc t.db.ctx ~timeout:Params.client_read_timeout ~from:t.db.proc ep
+              (Message.Storage_get { key; version; rv_epoch })
+          in
+          match reply with
+          | Message.Storage_get_reply v -> Future.return v
+          | _ -> Future.fail (Error.Fdb Error.Timed_out))
+        (function
+          | Error.Fdb Error.Transaction_too_old as e -> Future.fail e
+          | Engine.Timed_out -> attempt (i + 1) (Error.Fdb Error.Timed_out)
+          | Error.Fdb _ as e -> attempt (i + 1) e
+          | e -> Future.fail e)
+  in
+  attempt 0 (Error.Fdb Error.Timed_out)
+
+let storage_get_range t ~from ~until ~version:(version, rv_epoch) ~limit ~reverse =
+  (* Walk shard fragments in scan order, querying each fragment's team. *)
+  let fragments =
+    let fs = Shard_map.shards_for_range t.db.ctx.Context.shard_map ~from ~until in
+    if reverse then List.rev fs else fs
+  in
+  let rec walk fragments acc remaining =
+    match fragments with
+    | [] -> Future.return (List.concat (List.rev acc))
+    | _ when remaining <= 0 -> Future.return (List.concat (List.rev acc))
+    | (f, u, team) :: rest ->
+        let replicas = Array.of_list team in
+        Rng.shuffle t.db.rng replicas;
+        let rec attempt i last_err =
+          if i >= Array.length replicas then Future.fail last_err
+          else
+            let ep = t.db.ctx.Context.storage_eps.(replicas.(i)) in
+            Future.catch
+              (fun () ->
+                let* reply =
+                  Context.rpc t.db.ctx ~timeout:Params.client_read_timeout
+                    ~from:t.db.proc ep
+                    (Message.Storage_get_range
+                       {
+                         gr_from = f;
+                         gr_until = u;
+                         gr_version = version;
+                         gr_limit = remaining;
+                         gr_reverse = reverse;
+                         gr_epoch = rv_epoch;
+                       })
+                in
+                match reply with
+                | Message.Storage_get_range_reply rows -> Future.return rows
+                | _ -> Future.fail (Error.Fdb Error.Timed_out))
+              (function
+                | Error.Fdb Error.Transaction_too_old as e -> Future.fail e
+                | Engine.Timed_out -> attempt (i + 1) (Error.Fdb Error.Timed_out)
+                | Error.Fdb _ as e -> attempt (i + 1) e
+                | e -> Future.fail e)
+        in
+        let* rows = attempt 0 (Error.Fdb Error.Timed_out) in
+        walk rest (rows :: acc) (remaining - List.length rows)
+  in
+  walk fragments [] limit
+
+(* ---------- reads with read-your-writes ---------- *)
+
+let apply_ops_to_base base ops =
+  List.fold_left
+    (fun acc (kind, operand) -> Mutation.atomic_result kind ~old_value:acc operand)
+    base ops
+
+let get ?(snapshot = false) t key =
+  check_not_committed t;
+  check_key key;
+  match KeyMap.find_opt key t.writes with
+  | Some (B_set v) -> Future.return (Some v)
+  | Some B_clear -> Future.return None
+  | Some (B_atomic ops) ->
+      (* Needs the pre-transaction base value. *)
+      let* version = snapshot_info t in
+      if not snapshot then
+        add_read_conflict_range t ~from:key ~until:(Types.next_key key);
+      let* base = if in_cleared t key then Future.return None else storage_get t key version in
+      Future.return (apply_ops_to_base base ops)
+  | None ->
+      if in_cleared t key then Future.return None
+      else begin
+        let* version = snapshot_info t in
+        if not snapshot then
+          add_read_conflict_range t ~from:key ~until:(Types.next_key key);
+        storage_get t key version
+      end
+
+let get_range ?(snapshot = false) ?(limit = 1000) ?(reverse = false) t ~from ~until () =
+  check_not_committed t;
+  if from >= until then Future.return []
+  else begin
+    if until > Types.key_space_end then raise (Error.Fdb Error.Key_outside_legal_range);
+    let* version = snapshot_info t in
+    if not snapshot then add_read_conflict_range t ~from ~until;
+    let buffered_in_range =
+      KeyMap.to_seq t.writes
+      |> Seq.filter (fun (k, _) -> from <= k && k < until)
+      |> List.of_seq
+    in
+    (* Fetch from storage, overlay the write buffer, and keep fetching if
+       masking dropped us below the limit while more data may exist. *)
+    let rec fetch cursor acc =
+      let remaining = limit - List.length acc in
+      let exhausted_range = if reverse then cursor <= from else cursor >= until in
+      if remaining <= 0 || exhausted_range then Future.return acc
+      else
+        let f, u = if reverse then (from, cursor) else (cursor, until) in
+        let* rows = storage_get_range t ~from:f ~until:u ~version ~limit:remaining ~reverse in
+        let exhausted = List.length rows < remaining in
+        let visible =
+          List.filter
+            (fun (k, _) ->
+              (not (in_cleared t k)) && not (KeyMap.mem k t.writes))
+            rows
+        in
+        let acc = acc @ visible in
+        if exhausted then Future.return acc
+        else
+          match List.rev rows with
+          | [] -> Future.return acc
+          | (last, _) :: _ ->
+              let cursor = if reverse then last else Types.next_key last in
+              fetch cursor acc
+    in
+    let* base = fetch (if reverse then until else from) [] in
+    (* Overlay buffered writes (sets and atomics; atomics over unseen base
+       are computed against an absent base, which is exact because a key
+       absent from [base] either does not exist or was cleared). *)
+    let base_map =
+      List.fold_left (fun m (k, v) -> KeyMap.add k v m) KeyMap.empty base
+    in
+    let* overlaid =
+      let rec go acc = function
+        | [] -> Future.return acc
+        | (k, B_set v) :: rest -> go (KeyMap.add k v acc) rest
+        | (_, B_clear) :: rest -> go acc rest
+        | (k, B_atomic ops) :: rest ->
+            let* base_v =
+              match KeyMap.find_opt k base_map with
+              | Some v -> Future.return (Some v)
+              | None ->
+                  if in_cleared t k then Future.return None
+                  else storage_get t k version
+            in
+            let acc =
+              match apply_ops_to_base base_v ops with
+              | Some v -> KeyMap.add k v acc
+              | None -> acc
+            in
+            go acc rest
+      in
+      go base_map buffered_in_range
+    in
+    let all = KeyMap.bindings overlaid in
+    let all = if reverse then List.rev all else all in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: tl -> x :: take (n - 1) tl
+    in
+    Future.return (take limit all)
+  end
+
+(* ---------- writes ---------- *)
+
+let record_mutation t (m : Message.client_mutation) size =
+  t.mutations <- m :: t.mutations;
+  t.bytes <- t.bytes + size
+
+let set t key value =
+  check_not_committed t;
+  check_key key;
+  check_value value;
+  t.writes <- KeyMap.add key (B_set value) t.writes;
+  record_mutation t (Message.Plain (Mutation.Set (key, value)))
+    (String.length key + String.length value);
+  add_write_conflict_range t ~from:key ~until:(Types.next_key key)
+
+let clear t key =
+  check_not_committed t;
+  check_key key;
+  t.writes <- KeyMap.add key B_clear t.writes;
+  record_mutation t (Message.Plain (Mutation.Clear key)) (String.length key);
+  add_write_conflict_range t ~from:key ~until:(Types.next_key key)
+
+let clear_range t ~from ~until =
+  check_not_committed t;
+  check_key from;
+  if until > Types.key_space_end then raise (Error.Fdb Error.Key_outside_legal_range);
+  if from < until then begin
+    t.cleared <- (from, until) :: t.cleared;
+    t.writes <- KeyMap.filter (fun k _ -> k < from || k >= until) t.writes;
+    record_mutation t
+      (Message.Plain (Mutation.Clear_range (from, until)))
+      (String.length from + String.length until);
+    add_write_conflict_range t ~from ~until
+  end
+
+let atomic_op t kind key operand =
+  check_not_committed t;
+  check_key key;
+  check_value operand;
+  (let next =
+     match KeyMap.find_opt key t.writes with
+     | Some (B_set v) -> (
+         match Mutation.atomic_result kind ~old_value:(Some v) operand with
+         | Some v' -> B_set v'
+         | None -> B_clear)
+     | Some B_clear -> (
+         match Mutation.atomic_result kind ~old_value:None operand with
+         | Some v' -> B_set v'
+         | None -> B_clear)
+     | Some (B_atomic ops) -> B_atomic (ops @ [ (kind, operand) ])
+     | None ->
+         if in_cleared t key then
+           match Mutation.atomic_result kind ~old_value:None operand with
+           | Some v' -> B_set v'
+           | None -> B_clear
+         else B_atomic [ (kind, operand) ]
+   in
+   t.writes <- KeyMap.add key next t.writes);
+  record_mutation t
+    (Message.Plain (Mutation.Atomic (kind, key, operand)))
+    (String.length key + String.length operand);
+  (* Atomic ops conflict as writes only (§2.6). *)
+  add_write_conflict_range t ~from:key ~until:(Types.next_key key)
+
+let set_versionstamped_key t ~template ~offset ~value =
+  check_not_committed t;
+  check_value value;
+  if
+    offset < 0
+    || offset + 10 > String.length template
+    || String.length template > Types.key_size_limit
+  then raise (Error.Fdb Error.Key_too_large);
+  record_mutation t
+    (Message.Versionstamped_key { template; offset; value })
+    (String.length template + String.length value);
+  (* The final key is unknown until commit: conflict on the template range. *)
+  add_write_conflict_range t ~from:template ~until:(Types.next_key template)
+
+let set_versionstamped_value t ~key ~template ~offset =
+  check_not_committed t;
+  check_key key;
+  if offset < 0 || offset + 10 > String.length template then
+    raise (Error.Fdb Error.Value_too_large);
+  record_mutation t
+    (Message.Versionstamped_value { key; template; offset })
+    (String.length key + String.length template);
+  add_write_conflict_range t ~from:key ~until:(Types.next_key key)
+
+(* ---------- commit ---------- *)
+
+let do_commit t =
+  if t.mutations = [] && t.write_conflicts = [] then
+    (* Read-only transactions commit client-side (§2.4.1). *)
+    Future.return 0L
+  else if t.bytes > Types.transaction_size_limit then
+    Error.fail Error.Transaction_too_large
+  else begin
+    let* read_version, _epoch =
+      match t.read_version with
+      | Some f -> f
+      | None -> Future.return (0L, 0) (* blind writes carry no read snapshot *)
+    in
+    let req =
+      {
+        Message.tr_read_version = read_version;
+        tr_reads = t.read_conflicts;
+        tr_writes = t.write_conflicts;
+        tr_mutations = List.rev t.mutations;
+      }
+    in
+    (* A commit goes to exactly one proxy, exactly once: resending could
+       apply the transaction twice at two different versions. When the
+       request may have reached the cluster and its fate is unprovable, the
+       answer is Commit_unknown_result, exactly as in FDB. *)
+    let* proxy =
+      match pick_proxy t.db with
+      | Some ep -> Future.return (Some ep)
+      | None ->
+          let* () = refresh t.db in
+          Future.return (pick_proxy t.db)
+    in
+    match proxy with
+    | None -> Error.fail Error.Timed_out (* never sent: definitely not committed *)
+    | Some ep -> (
+        let* reply =
+          Future.catch
+            (fun () ->
+              Context.rpc t.db.ctx ~timeout:8.0 ~from:t.db.proc ep
+                (Message.Commit_req req))
+            (function
+              | Engine.Timed_out | Error.Fdb Error.Wrong_epoch ->
+                  Error.fail Error.Commit_unknown_result
+              | Error.Fdb Error.Database_locked ->
+                  (* Definite no-commit from a proxy of a dead generation:
+                     refresh so the retry loop reaches the new proxies
+                     (blind writes have no GRV step to do it for them). *)
+                  let* () = refresh t.db in
+                  Error.fail Error.Database_locked
+              | e -> Future.fail e)
+        in
+        match reply with
+        | Message.Commit_reply version -> Future.return version
+        | _ -> Error.fail Error.Commit_unknown_result)
+  end
+
+let commit t =
+  match t.commit_result with
+  | Some f -> f
+  | None ->
+      let f = do_commit t in
+      t.commit_result <- Some f;
+      f
+
+(* ---------- retry loop ---------- *)
+
+let run db ?(max_attempts = 64) f =
+  let rec attempt n backoff =
+    let t = begin_tx db in
+    Future.catch
+      (fun () ->
+        let* result = f t in
+        let* _version = commit t in
+        Future.return result)
+      (function
+        | Error.Fdb e when Error.is_retryable e && n < max_attempts ->
+            let delay = Float.min backoff 1.0 +. Engine.random_float 0.05 in
+            let* () = Engine.sleep delay in
+            attempt (n + 1) (backoff *. 2.0)
+        | e -> Future.fail e)
+  in
+  attempt 1 0.01

@@ -1,0 +1,83 @@
+(** The client library: database handles and transactions (paper §2.2).
+
+    A transaction observes a snapshot at its read version (lazily acquired
+    from a Proxy, §2.4.1), buffers writes locally with read-your-writes
+    semantics, and ships read/write conflict ranges and mutations to a
+    Proxy at commit. Read-only transactions commit locally without
+    contacting the cluster. {!run} is the standard retry loop. *)
+
+type db
+type tx
+
+(** All failures surface as the [Error.Fdb] exception carrying a typed
+    {!Error.t}. *)
+
+val create_db : Context.t -> Fdb_sim.Process.t -> db
+(** A database handle for a client living on the given process (the
+    context plays the role of the cluster file). *)
+
+val refresh : db -> unit Fdb_sim.Future.t
+(** Re-discover the current proxies via the coordinators/ClusterController.
+    Called automatically when requests keep failing. *)
+
+(** {2 Transactions} *)
+
+val begin_tx : db -> tx
+
+val get_read_version : tx -> Types.version Fdb_sim.Future.t
+(** The transaction's snapshot version (first call contacts a Proxy). *)
+
+val read_snapshot : tx -> (Types.version * Types.epoch) Fdb_sim.Future.t
+(** The snapshot version together with the generation that minted it —
+    what storage servers need to gate reads correctly (tools issuing raw
+    storage requests must carry both). *)
+
+val set_read_version : tx -> Types.version -> unit
+(** Pin the snapshot version (e.g. for read-at-version tooling). *)
+
+val get : ?snapshot:bool -> tx -> string -> string option Fdb_sim.Future.t
+(** Point read with read-your-writes. [snapshot:true] skips the read
+    conflict range (§2.4.1 snapshot reads). *)
+
+val get_range :
+  ?snapshot:bool ->
+  ?limit:int ->
+  ?reverse:bool ->
+  tx ->
+  from:string ->
+  until:string ->
+  unit ->
+  (string * string) list Fdb_sim.Future.t
+(** Ordered range read of [\[from, until)], merged with buffered writes. *)
+
+val set : tx -> string -> string -> unit
+val clear : tx -> string -> unit
+val clear_range : tx -> from:string -> until:string -> unit
+
+val atomic_op : tx -> Fdb_kv.Mutation.atomic_kind -> string -> string -> unit
+(** [atomic_op tx kind key operand] — conflict-free read-modify-write
+    (§2.6); adds a write conflict range but no read range. *)
+
+val set_versionstamped_key : tx -> template:string -> offset:int -> value:string -> unit
+(** [template] must contain 10 bytes at [offset] that the Proxy overwrites
+    with the commit versionstamp (§2.6). *)
+
+val set_versionstamped_value : tx -> key:string -> template:string -> offset:int -> unit
+
+val add_read_conflict_range : tx -> from:string -> until:string -> unit
+val add_write_conflict_range : tx -> from:string -> until:string -> unit
+(** Manual conflict ranges: the fine-grained control the paper describes
+    for relaxing or strengthening isolation. *)
+
+val commit : tx -> Types.version Fdb_sim.Future.t
+(** Commit; the version is the transaction's commit version (0 for
+    read-only transactions). Fails with a typed {!Error.t}. Idempotent:
+    repeated calls return the first outcome. *)
+
+val run : db -> ?max_attempts:int -> (tx -> 'a Fdb_sim.Future.t) -> 'a Fdb_sim.Future.t
+(** Standard retry loop: run the body, commit, and retry (with capped
+    exponential backoff) on retryable errors. The body must be idempotent
+    under retry, as in FDB. *)
+
+val versionstamp_placeholder : string
+(** Ten zero bytes to embed where the stamp should land. *)

@@ -1,0 +1,149 @@
+open Fdb_sim
+open Future.Syntax
+
+type t = {
+  ctx : Context.t;
+  proc : Process.t;
+  mutable active : bool;
+  mutable rk : int option;
+  mutable dd : int option;
+  mutable seq : int option;
+  mutable pick : int; (* rotating worker choice *)
+  (* last state learned from the sequencer *)
+  mutable epoch : Types.epoch;
+  mutable proxies : int list;
+  mutable logs : (int * int) list;
+  mutable rv : Types.version;
+  mutable recovered : bool;
+}
+
+let is_recovered t = t.recovered
+
+let state_reply t =
+  Message.Cc_state
+    {
+      st_epoch = t.epoch;
+      st_proxies = t.proxies;
+      st_logs = t.logs;
+      st_recovery_version = t.rv;
+      st_recovered = t.recovered;
+    }
+
+(* Ask workers round-robin until one hosts the role. *)
+let recruit t msg =
+  let machines = Array.length t.ctx.Context.worker_eps in
+  let rec attempt tries =
+    if tries >= machines then Future.return None
+    else begin
+      t.pick <- (t.pick + 1) mod machines;
+      Future.catch
+        (fun () ->
+          let* reply =
+            Context.rpc t.ctx ~timeout:1.0 ~from:t.proc
+              t.ctx.Context.worker_eps.(t.pick) msg
+          in
+          match reply with
+          | Message.Recruited { endpoint } -> Future.return (Some endpoint)
+          | _ -> attempt (tries + 1))
+        (fun _ -> attempt (tries + 1))
+    end
+  in
+  attempt 0
+
+let ping t ep =
+  Future.catch
+    (fun () ->
+      let* reply =
+        Context.rpc t.ctx ~timeout:Params.heartbeat_timeout ~from:t.proc ep
+          Message.Seq_ping
+      in
+      match reply with
+      | Message.Ok_reply -> Future.return `Alive
+      | Message.Seq_pong { sp_epoch; sp_recovered; sp_proxies; sp_logs; sp_rv } ->
+          t.epoch <- sp_epoch;
+          t.recovered <- sp_recovered;
+          t.proxies <- sp_proxies;
+          t.logs <- sp_logs;
+          t.rv <- sp_rv;
+          Future.return `Alive
+      | _ -> Future.return `Dead)
+    (fun _ -> Future.return `Dead)
+
+let ensure_singleton t current msg set =
+  match current with
+  | Some ep ->
+      let* status = ping t ep in
+      (match status with
+      | `Alive -> Future.return ()
+      | `Dead ->
+          set None;
+          Future.return ())
+  | None ->
+      let* ep = recruit t msg in
+      set ep;
+      Future.return ()
+
+let supervise t =
+  let rec loop () =
+    if not t.active then Future.return ()
+    else
+      let* () = Engine.sleep Params.heartbeat_interval in
+      let* () =
+        ensure_singleton t t.rk Message.Recruit_ratekeeper (fun e -> t.rk <- e)
+      in
+      let* () =
+        ensure_singleton t t.dd Message.Recruit_data_distributor (fun e -> t.dd <- e)
+      in
+      let* () =
+        match t.seq with
+        | Some ep ->
+            let* status = ping t ep in
+            (match status with
+            | `Alive -> Future.return ()
+            | `Dead ->
+                Trace.emit "cc_sequencer_failed" [ ("epoch", string_of_int t.epoch) ];
+                t.seq <- None;
+                t.recovered <- false;
+                Future.return ())
+        | None ->
+            if t.rk = None then Future.return ()
+            else
+              let* ep =
+                recruit t (Message.Recruit_sequencer { rs_ratekeeper = t.rk })
+              in
+              (match ep with
+              | Some _ -> Trace.emit "cc_sequencer_recruited" []
+              | None -> ());
+              t.seq <- ep;
+              Future.return ()
+      in
+      loop ()
+  in
+  loop ()
+
+let start ctx proc =
+  let t =
+    {
+      ctx;
+      proc;
+      active = true;
+      rk = None;
+      dd = None;
+      seq = None;
+      pick = proc.Process.machine.Process.machine_id;
+      epoch = 0;
+      proxies = [];
+      logs = [];
+      rv = 0L;
+      recovered = false;
+    }
+  in
+  Trace.emit "cc_elected"
+    [ ("machine", string_of_int proc.Process.machine.Process.machine_id) ];
+  Engine.spawn ~process:proc "cluster-controller" (fun () -> supervise t);
+  t
+
+let stop t =
+  t.active <- false;
+  Trace.emit "cc_deposed"
+    [ ("machine", string_of_int t.proc.Process.machine.Process.machine_id) ]

@@ -1,0 +1,21 @@
+(** The ClusterController: elected singleton that recruits and supervises
+    the other singletons (paper §2.3.1).
+
+    Runs inside the worker that won the coordinator election. Recruits a
+    Ratekeeper, a DataDistributor and a Sequencer; monitors the Sequencer
+    with heartbeats and recruits a replacement (triggering a §2.4.4
+    recovery) when it dies. Also answers [Cc_get_state] so clients can find
+    the current proxies. *)
+
+type t
+
+val start : Context.t -> Fdb_sim.Process.t -> t
+(** Begin supervising (call on winning the election). *)
+
+val stop : t -> unit
+(** Step down (lease lost). *)
+
+val state_reply : t -> Message.t
+(** Current [Cc_state] snapshot for clients. *)
+
+val is_recovered : t -> bool

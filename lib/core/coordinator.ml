@@ -1,0 +1,21 @@
+open Fdb_sim
+open Future.Syntax
+
+let serve ctx proc ~disk ~endpoint =
+  let* server = Fdb_paxos.Server.recover ~disk ~file:"paxos-state" () in
+  Network.register ctx.Context.net endpoint proc (fun msg ->
+      match (msg : Message.t) with
+      | Message.Paxos_req r ->
+          Future.map (Fdb_paxos.Server.handle server r) (fun resp ->
+              Message.Paxos_resp resp)
+      | Message.Seq_ping -> Future.return Message.Ok_reply
+      | _ -> Future.return (Message.Reject (Error.Internal "coordinator: unexpected message")));
+  Future.return ()
+
+let start ctx proc ~disk ~endpoint =
+  Disk.attach disk proc;
+  let boot () =
+    Engine.spawn ~process:proc "coordinator" (fun () -> serve ctx proc ~disk ~endpoint)
+  in
+  proc.Process.boot <- boot;
+  Engine.schedule ~process:proc boot

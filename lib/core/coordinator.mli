@@ -1,0 +1,7 @@
+(** A Coordinator process: hosts the disk-Paxos acceptor for the cluster's
+    named registers (paper §2.3.1) behind a well-known endpoint, and
+    survives reboots by recovering acceptor state from its disk. *)
+
+val start :
+  Context.t -> Fdb_sim.Process.t -> disk:Fdb_sim.Disk.t -> endpoint:int -> unit
+(** Register (and arrange re-registration on every reboot). *)

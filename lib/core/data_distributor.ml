@@ -1,0 +1,81 @@
+open Fdb_sim
+open Future.Syntax
+
+type t = {
+  ctx : Context.t;
+  proc : Process.t;
+  ep : int;
+  alive_ss : bool array;
+  mutable unhealthy : int;
+  mutable zero_replica : bool;
+  mutable running : bool;
+}
+
+let unhealthy_teams t = t.unhealthy
+let data_loss_risk t = t.zero_replica
+
+let probe t =
+  let checks =
+    Array.to_list
+      (Array.mapi
+         (fun i ep ->
+           Future.catch
+             (fun () ->
+               let* reply =
+                 Context.rpc t.ctx ~timeout:1.0 ~from:t.proc ep Message.Ss_stats_req
+               in
+               match reply with
+               | Message.Ss_stats _ -> Future.return (i, true)
+               | _ -> Future.return (i, false))
+             (fun _ -> Future.return (i, false)))
+         t.ctx.Context.storage_eps)
+  in
+  let* results = Future.all checks in
+  List.iter (fun (i, ok) -> t.alive_ss.(i) <- ok) results;
+  let teams = Shard_map.tag_teams t.ctx.Context.shard_map in
+  let unhealthy = ref 0 and zero = ref false in
+  Array.iter
+    (fun team ->
+      let live = List.length (List.filter (fun ss -> t.alive_ss.(ss)) team) in
+      if live < List.length team then incr unhealthy;
+      if live = 0 then zero := true)
+    teams;
+  if !unhealthy <> t.unhealthy || !zero <> t.zero_replica then
+    Trace.emit "dd_team_health"
+      [ ("unhealthy", string_of_int !unhealthy); ("zero_replica", string_of_bool !zero) ];
+  t.unhealthy <- !unhealthy;
+  t.zero_replica <- !zero;
+  Future.return ()
+
+let monitor_loop t =
+  let rec loop () =
+    if not t.running then Future.return ()
+    else
+      let* () = Engine.sleep 1.0 in
+      let* () = probe t in
+      loop ()
+  in
+  loop ()
+
+let handle t (msg : Message.t) : Message.t Future.t =
+  ignore t;
+  match msg with
+  | Message.Seq_ping -> Future.return Message.Ok_reply
+  | _ -> Future.return (Message.Reject (Error.Internal "dd: unexpected message"))
+
+let create ctx proc =
+  let ep = Network.fresh_endpoint ctx.Context.net in
+  let t =
+    {
+      ctx;
+      proc;
+      ep;
+      alive_ss = Array.make (Array.length ctx.Context.storage_eps) true;
+      unhealthy = 0;
+      zero_replica = false;
+      running = true;
+    }
+  in
+  Network.register ctx.Context.net ep proc (handle t);
+  Engine.spawn ~process:proc "data-distributor" (fun () -> monitor_loop t);
+  (t, ep)

@@ -1,0 +1,18 @@
+(** The DataDistributor: storage health monitoring (paper §2.3.1, §2.5).
+
+    Watches every StorageServer, tracks per-team health (how many replicas
+    of each shard's team are responsive), and emits trace events when a
+    team degrades or heals. With our reboot-based fault model, replica
+    healing is performed by the rebooted server catching up from the logs;
+    the DataDistributor's job here is detection and reporting, which is
+    what the recoverability oracle and status surface consume. *)
+
+type t
+
+val create : Context.t -> Fdb_sim.Process.t -> t * int
+
+val unhealthy_teams : t -> int
+(** Teams currently below full replication. *)
+
+val data_loss_risk : t -> bool
+(** True if some team has zero responsive replicas. *)

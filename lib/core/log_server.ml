@@ -1,0 +1,421 @@
+open Fdb_sim
+open Future.Syntax
+
+type meta = {
+  m_epoch : Types.epoch;
+  m_id : int;
+  m_start_lsn : Types.version;
+  m_endpoint : int;
+}
+
+type t = {
+  ctx : Context.t;
+  mutable proc : Process.t;
+  ep : int;
+  epoch : Types.epoch;
+  id : int;
+  disk : Disk.t;
+  wal : string;
+  floor_file : string;
+  start_lsn : Types.version;
+  mutable floor : Types.version; (* highest pruned LSN; chain resumes here *)
+  mutable stopped : bool;
+  mutable dv : Types.version; (* durable, chain-contiguous *)
+  mutable rcv : Types.version; (* received, chain-contiguous *)
+  mutable kcv : Types.version;
+  (* All entries by LSN (seeds + pushes). *)
+  entries : (Types.version, Message.log_entry) Hashtbl.t;
+  (* Chain index: prev LSN -> entry LSN. *)
+  next : (Types.version, Types.version) Hashtbl.t;
+  (* Pushes that arrived before their predecessor. *)
+  pending : (Types.version, Message.log_entry) Hashtbl.t;
+  (* Per-tag unpopped payload, oldest first (reversed storage). *)
+  per_tag : (Types.tag, (Types.version * Fdb_kv.Mutation.t list) list ref) Hashtbl.t;
+  pop_floor : (Types.tag, Types.version) Hashtbl.t;
+  (* Records appended to disk but not yet synced, with their promises. *)
+  mutable waiting_sync : (Types.version * unit Future.promise) list;
+  mutable sync_scheduled : bool;
+  mutable unpopped_bytes : int;
+}
+
+let durable_version t = t.dv
+let known_committed t = t.kcv
+let is_stopped t = t.stopped
+let unpopped_bytes t = t.unpopped_bytes
+
+(* Per-generation file name: one machine's log disk may host LogServers
+   of several epochs (old stopped ones await recovery hand-off). *)
+let wal_file ~epoch ~id = Printf.sprintf "tlog-%d-%d.wal" epoch id
+let floor_file_name ~epoch ~id = Printf.sprintf "tlog-%d-%d.floor" epoch id
+
+let entry_bytes (e : Message.log_entry) =
+  List.fold_left
+    (fun acc (_, muts) ->
+      List.fold_left (fun a m -> a + Fdb_kv.Mutation.byte_size m) acc muts)
+    0 e.Message.le_payload
+
+let index_payload t (e : Message.log_entry) =
+  List.iter
+    (fun (tag, muts) ->
+      if muts <> [] then begin
+        let l =
+          match Hashtbl.find_opt t.per_tag tag with
+          | Some l -> l
+          | None ->
+              let l = ref [] in
+              Hashtbl.add t.per_tag tag l;
+              l
+        in
+        l := (e.Message.le_lsn, muts) :: !l
+      end)
+    e.Message.le_payload;
+  t.unpopped_bytes <- t.unpopped_bytes + entry_bytes e
+
+(* Group-commit: one sync covers every record appended before it. *)
+let rec schedule_sync t =
+  if not t.sync_scheduled then begin
+    t.sync_scheduled <- true;
+    let extra = Buggify.delay ~p:0.03 "tlog_slow_sync" /. 10.0 in
+    Engine.schedule ~after:(5e-4 +. extra) ~process:t.proc (fun () ->
+        t.sync_scheduled <- false;
+        let batch = List.rev t.waiting_sync in
+        t.waiting_sync <- [];
+        if batch <> [] then
+          Engine.spawn ~process:t.proc "tlog-sync" (fun () ->
+              let* () = Disk.sync t.disk t.wal in
+              List.iter
+                (fun (lsn, promise) ->
+                  if lsn > t.dv then t.dv <- lsn;
+                  ignore (Future.try_fulfill promise ()))
+                batch;
+              if t.waiting_sync <> [] then schedule_sync t;
+              Future.return ()))
+  end
+
+let persist_entry t (e : Message.log_entry) =
+  let record = Marshal.to_string (e : Message.log_entry) [] in
+  let* () = Disk.append t.disk t.wal record in
+  let fut, promise = Future.make () in
+  t.waiting_sync <- (e.Message.le_lsn, promise) :: t.waiting_sync;
+  schedule_sync t;
+  fut
+
+(* Accept an in-chain-order record: index it, persist it, and return the
+   durability future. Then drain any pending successors. *)
+let rec accept t (e : Message.log_entry) =
+  Hashtbl.replace t.entries e.Message.le_lsn e;
+  Hashtbl.replace t.next e.Message.le_prev e.Message.le_lsn;
+  t.rcv <- e.Message.le_lsn;
+  if e.Message.le_kcv > t.kcv then t.kcv <- e.Message.le_kcv;
+  index_payload t e;
+  let durable = persist_entry t e in
+  (match Hashtbl.find_opt t.pending e.Message.le_lsn with
+  | Some successor ->
+      Hashtbl.remove t.pending e.Message.le_lsn;
+      ignore (accept t successor)
+  | None -> ());
+  durable
+
+let tag_entries t tag ~from_version =
+  let floor = Option.value (Hashtbl.find_opt t.pop_floor tag) ~default:Int64.min_int in
+  match Hashtbl.find_opt t.per_tag tag with
+  | None -> []
+  | Some l ->
+      List.filter (fun (v, _) -> v >= from_version && v > floor) !l
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let do_pop t tag up_to =
+  let old_floor = Option.value (Hashtbl.find_opt t.pop_floor tag) ~default:Int64.min_int in
+  if up_to > old_floor then begin
+    Hashtbl.replace t.pop_floor tag up_to;
+    match Hashtbl.find_opt t.per_tag tag with
+    | None -> ()
+    | Some l ->
+        let kept, dropped = List.partition (fun (v, _) -> v > up_to) !l in
+        l := kept;
+        List.iter
+          (fun (_, muts) ->
+            List.iter
+              (fun m -> t.unpopped_bytes <- t.unpopped_bytes - Fdb_kv.Mutation.byte_size m)
+              muts)
+          dropped
+  end
+
+(* Discard fully-popped entries (the paper's log GC): an entry is dead once
+   every tag this server has seen traffic for has popped past it. The new
+   chain floor is made durable BEFORE records are dropped — otherwise a
+   rebooted server would understate its durable version and drag the next
+   recovery's RV below acknowledged commits. *)
+let prune t =
+  if Hashtbl.length t.pop_floor > 0 then begin
+    let global_floor =
+      Hashtbl.fold (fun _ v acc -> min v acc) t.pop_floor Int64.max_int
+    in
+    let doomed =
+      Hashtbl.fold
+        (fun lsn (e : Message.log_entry) acc ->
+          let unpopped =
+            List.exists
+              (fun (tag, muts) ->
+                muts <> []
+                && lsn > Option.value (Hashtbl.find_opt t.pop_floor tag) ~default:Int64.min_int)
+              e.Message.le_payload
+          in
+          if lsn <= global_floor && not unpopped then lsn :: acc else acc)
+        t.entries []
+    in
+    if doomed = [] then Future.return ()
+    else begin
+      let new_floor = List.fold_left max t.floor doomed in
+      let* () =
+        Disk.write_file t.disk t.floor_file (Types.version_to_bytes new_floor)
+      in
+      let* () = Disk.sync t.disk t.floor_file in
+      t.floor <- new_floor;
+      List.iter
+        (fun lsn ->
+          (match Hashtbl.find_opt t.entries lsn with
+          | Some e -> Hashtbl.remove t.next e.Message.le_prev
+          | None -> ());
+          Hashtbl.remove t.entries lsn)
+        doomed;
+      (* Dead entries are a prefix of the WAL (appends are chain-ordered),
+         so rotate them out of the simulated disk as well. *)
+      Disk.drop_prefix t.disk t.wal (List.length doomed);
+      Future.return ()
+    end
+  end
+  else Future.return ()
+
+let prune_loop t =
+  let rec loop () =
+    let* () = Engine.sleep 2.0 in
+    if t.stopped then Future.return ()
+    else
+      let* () = prune t in
+      loop ()
+  in
+  loop ()
+
+(* Everything not yet popped and already durable, for recovery hand-off. *)
+let unpopped_durable_entries t =
+  Hashtbl.fold
+    (fun lsn (e : Message.log_entry) acc ->
+      if lsn > t.dv then acc
+      else begin
+        let payload =
+          List.filter
+            (fun (tag, muts) ->
+              muts <> []
+              && lsn > Option.value (Hashtbl.find_opt t.pop_floor tag) ~default:Int64.min_int)
+            e.Message.le_payload
+        in
+        if payload = [] then acc else { e with Message.le_payload = payload } :: acc
+      end)
+    t.entries []
+
+let handle t (msg : Message.t) : Message.t Future.t =
+  match msg with
+  | Message.Seq_ping ->
+      if t.stopped then Future.return (Message.Reject Error.Wrong_epoch)
+      else Future.return Message.Ok_reply
+  | Message.Log_push { lp_epoch; lp_entry } ->
+      if t.stopped || lp_epoch <> t.epoch then
+        Future.return (Message.Reject Error.Wrong_epoch)
+      else if Hashtbl.mem t.entries lp_entry.Message.le_lsn then
+        (* Duplicate push: wait for durability of what we already have. *)
+        if t.dv >= lp_entry.Message.le_lsn then
+          Future.return (Message.Log_push_ack { durable_version = t.dv })
+        else
+          let fut, promise = Future.make () in
+          t.waiting_sync <- (lp_entry.Message.le_lsn, promise) :: t.waiting_sync;
+          schedule_sync t;
+          Future.map fut (fun () -> Message.Log_push_ack { durable_version = t.dv })
+      else begin
+        let* () =
+          Engine.cpu t.proc
+            (Params.log_per_push
+            +. Params.cpu (Params.log_per_byte *. float_of_int (entry_bytes lp_entry)))
+        in
+        if lp_entry.Message.le_prev = t.rcv then
+          let* () = accept t lp_entry in
+          Future.return (Message.Log_push_ack { durable_version = t.dv })
+        else if lp_entry.Message.le_prev > t.rcv then begin
+          (* Out of order: park; ack only when it becomes durable in order. *)
+          Hashtbl.replace t.pending lp_entry.Message.le_prev lp_entry;
+          let rec wait () =
+            let* () = Engine.sleep 1e-3 in
+            if t.dv >= lp_entry.Message.le_lsn then
+              Future.return (Message.Log_push_ack { durable_version = t.dv })
+            else if t.stopped then Future.return (Message.Reject Error.Wrong_epoch)
+            else wait ()
+          in
+          wait ()
+        end
+        else Future.return (Message.Reject (Error.Internal "tlog: chain regression"))
+      end
+  | Message.Log_peek { tag; from_version } ->
+      if t.stopped then Future.return (Message.Reject Error.Wrong_epoch)
+      else
+      let entries = tag_entries t tag ~from_version in
+      Future.return
+        (Message.Log_peek_reply { pk_entries = entries; pk_end = t.rcv; pk_kcv = t.kcv })
+  | Message.Log_pop { tag; up_to } ->
+      do_pop t tag up_to;
+      Future.return Message.Ok_reply
+  | Message.Log_lock { ll_epoch } ->
+      if ll_epoch > t.epoch then begin
+        if not t.stopped then begin
+          t.stopped <- true;
+          Trace.emit "tlog_locked"
+            [ ("id", string_of_int t.id); ("epoch", string_of_int t.epoch);
+              ("by", string_of_int ll_epoch); ("dv", Int64.to_string t.dv) ]
+        end;
+        Future.return
+          (Message.Log_lock_reply
+             { lk_kcv = t.kcv; lk_dv = t.dv; lk_entries = unpopped_durable_entries t })
+      end
+      else Future.return (Message.Reject Error.Wrong_epoch)
+  | Message.Log_seed { ls_entries } ->
+      (* Recovery hand-off: pre-existing durable history. Persist before
+         acking; it is already below our start LSN so it joins per-tag
+         indexes but not the chain. *)
+      List.iter
+        (fun (e : Message.log_entry) ->
+          if not (Hashtbl.mem t.entries e.Message.le_lsn) then begin
+            Hashtbl.replace t.entries e.Message.le_lsn e;
+            index_payload t e
+          end)
+        ls_entries;
+      let* () =
+        Future.all_unit
+          (List.map
+             (fun e -> Disk.append t.disk t.wal (Marshal.to_string (e : Message.log_entry) []))
+             ls_entries)
+      in
+      let* () = Disk.sync t.disk t.wal in
+      Future.return Message.Ok_reply
+  | _ -> Future.return (Message.Reject (Error.Internal "tlog: unexpected message"))
+
+(* Rebuild from disk after a crash: keep the contiguous chain prefix (plus
+   seeds, which sit below start_lsn); serve only recovery traffic. *)
+let resurrect ctx proc ~disk ~(meta : meta) =
+  let* records = Disk.read_all disk (wal_file ~epoch:meta.m_epoch ~id:meta.m_id) in
+  let* floor_bytes =
+    Disk.read_file disk (floor_file_name ~epoch:meta.m_epoch ~id:meta.m_id)
+  in
+  let floor =
+    match floor_bytes with
+    | Some b when String.length b >= 8 -> max meta.m_start_lsn (Types.version_of_bytes b)
+    | _ -> meta.m_start_lsn
+  in
+  let t =
+    {
+      ctx;
+      proc;
+      ep = meta.m_endpoint;
+      epoch = meta.m_epoch;
+      id = meta.m_id;
+      disk;
+      wal = wal_file ~epoch:meta.m_epoch ~id:meta.m_id;
+      floor_file = floor_file_name ~epoch:meta.m_epoch ~id:meta.m_id;
+      start_lsn = meta.m_start_lsn;
+      floor;
+      stopped = true;
+      dv = meta.m_start_lsn;
+      rcv = meta.m_start_lsn;
+      kcv = 0L;
+      entries = Hashtbl.create 1024;
+      next = Hashtbl.create 1024;
+      pending = Hashtbl.create 4;
+      per_tag = Hashtbl.create 64;
+      pop_floor = Hashtbl.create 64;
+      waiting_sync = [];
+      sync_scheduled = false;
+      unpopped_bytes = 0;
+    }
+  in
+  let parsed =
+    List.filter_map
+      (fun r ->
+        match (Marshal.from_string r 0 : Message.log_entry) with
+        | e -> Some e
+        | exception _ -> None)
+      records
+  in
+  (* Seeds (lsn <= start) and already-pruned-floor records are durable
+     history; chain records must form a contiguous prefix from the floor. *)
+  List.iter
+    (fun (e : Message.log_entry) ->
+      if e.Message.le_lsn <= floor && not (Hashtbl.mem t.entries e.Message.le_lsn)
+      then begin
+        Hashtbl.replace t.entries e.Message.le_lsn e;
+        index_payload t e
+      end
+      else if e.Message.le_lsn > floor then
+        Hashtbl.replace t.pending e.Message.le_lsn e)
+    parsed;
+  let rec chain v =
+    let candidates = Hashtbl.fold (fun lsn e acc -> if e.Message.le_prev = v then (lsn, e) :: acc else acc) t.pending [] in
+    match candidates with
+    | (lsn, e) :: _ ->
+        Hashtbl.remove t.pending lsn;
+        Hashtbl.replace t.entries lsn e;
+        Hashtbl.replace t.next v lsn;
+        index_payload t e;
+        if e.Message.le_kcv > t.kcv then t.kcv <- e.Message.le_kcv;
+        chain lsn
+    | [] -> v
+  in
+  let dv = chain floor in
+  t.dv <- dv;
+  t.rcv <- dv;
+  Hashtbl.reset t.pending;
+  Network.register ctx.Context.net meta.m_endpoint proc (handle t);
+  Trace.emit "tlog_resurrected"
+    [ ("id", string_of_int meta.m_id); ("epoch", string_of_int meta.m_epoch);
+      ("dv", Int64.to_string dv) ];
+  Future.return t
+
+let create ctx proc ~disk ~epoch ~id ~start_lsn =
+  let ep = Network.fresh_endpoint ctx.Context.net in
+  let meta = { m_epoch = epoch; m_id = id; m_start_lsn = start_lsn; m_endpoint = ep } in
+  let t =
+    {
+      ctx;
+      proc;
+      ep;
+      epoch;
+      id;
+      disk;
+      wal = wal_file ~epoch ~id;
+      floor_file = floor_file_name ~epoch ~id;
+      start_lsn;
+      floor = start_lsn;
+      stopped = false;
+      dv = start_lsn;
+      rcv = start_lsn;
+      kcv = 0L;
+      entries = Hashtbl.create 1024;
+      next = Hashtbl.create 1024;
+      pending = Hashtbl.create 16;
+      per_tag = Hashtbl.create 64;
+      pop_floor = Hashtbl.create 64;
+      waiting_sync = [];
+      sync_scheduled = false;
+      unpopped_bytes = 0;
+    }
+  in
+  Disk.attach disk proc;
+  Network.register ctx.Context.net ep proc (handle t);
+  Engine.spawn ~process:proc "tlog-prune" (fun () -> prune_loop t);
+  (* The boot thunk captures the identity (modelling an on-disk manifest):
+     after a crash the process comes back as a stopped log server able to
+     serve recovery hand-off from whatever survived on disk. *)
+  proc.Process.boot <-
+    (fun () ->
+      Engine.spawn ~process:proc "tlog-resurrect" (fun () ->
+          let* r = resurrect ctx proc ~disk ~meta in
+          r.proc <- proc;
+          Future.return ()));
+  (t, ep)

@@ -1,0 +1,189 @@
+type key_range = string * string
+
+type client_mutation =
+  | Plain of Fdb_kv.Mutation.t
+  | Versionstamped_key of { template : string; offset : int; value : string }
+  | Versionstamped_value of { key : string; template : string; offset : int }
+
+type txn_request = {
+  tr_read_version : Types.version;
+  tr_reads : key_range list;
+  tr_writes : key_range list;
+  tr_mutations : client_mutation list;
+}
+
+type resolver_verdict = V_commit | V_conflict | V_too_old
+
+type coordinated_state = {
+  cs_epoch : Types.epoch;
+  cs_logs : (int * int) list;
+  cs_log_replication : int;
+  cs_recovery_version : Types.version;
+  cs_rv_history : (Types.epoch * Types.version) list;
+}
+
+let encode_coordinated_state (cs : coordinated_state) = Marshal.to_string cs []
+
+let decode_coordinated_state s =
+  match (Marshal.from_string s 0 : coordinated_state) with
+  | cs -> Some cs
+  | exception _ -> None
+
+type log_entry = {
+  le_lsn : Types.version;
+  le_prev : Types.version;
+  le_kcv : Types.version;
+  le_payload : (Types.tag * Fdb_kv.Mutation.t list) list;
+}
+
+type t =
+  | Ok_reply
+  | Reject of Error.t
+  | Paxos_req of Fdb_paxos.Wire.request
+  | Paxos_resp of Fdb_paxos.Wire.response
+  | Worker_ping
+  | Worker_pong
+  | Recruit_sequencer of { rs_ratekeeper : int option }
+  | Recruit_proxy of {
+      rp_epoch : Types.epoch;
+      rp_sequencer : int;
+      rp_resolvers : (key_range * int) list;
+      rp_logs : (int * int) list;
+      rp_ratekeeper : int option;
+      rp_recovery_version : Types.version;
+    }
+  | Recruit_resolver of {
+      rr_epoch : Types.epoch;
+      rr_range : key_range;
+      rr_start_lsn : Types.version;
+    }
+  | Recruit_log of { rl_epoch : Types.epoch; rl_id : int; rl_start_lsn : Types.version }
+  | Recruit_ratekeeper
+  | Recruit_data_distributor
+  | Recruited of { endpoint : int }
+  | Cc_get_state
+  | Cc_state of {
+      st_epoch : Types.epoch;
+      st_proxies : int list;
+      st_logs : (int * int) list;
+      st_recovery_version : Types.version;
+      st_recovered : bool;
+    }
+  | Seq_ping
+  | Seq_pong of {
+      sp_epoch : Types.epoch;
+      sp_recovered : bool;
+      sp_proxies : int list;
+      sp_logs : (int * int) list;
+      sp_rv : Types.version;
+    }
+  | Grv_req
+  | Grv_reply of { gv_version : Types.version; gv_epoch : Types.epoch }
+  | Commit_req of txn_request
+  | Commit_reply of Types.version
+  | Seq_grv
+  | Seq_grv_reply of { read_version : Types.version; grv_epoch : Types.epoch }
+  | Seq_version
+  | Seq_version_reply of { version : Types.version; prev : Types.version }
+  | Seq_report of { committed : Types.version }
+  | Resolve_req of {
+      rs_epoch : Types.epoch;
+      rs_lsn : Types.version;
+      rs_prev : Types.version;
+      rs_txns : (Types.version * key_range list * key_range list) array;
+    }
+  | Resolve_reply of resolver_verdict array
+  | Log_push of { lp_epoch : Types.epoch; lp_entry : log_entry }
+  | Log_push_ack of { durable_version : Types.version }
+  | Log_peek of { tag : Types.tag; from_version : Types.version }
+  | Log_peek_reply of {
+      pk_entries : (Types.version * Fdb_kv.Mutation.t list) list;
+      pk_end : Types.version;
+      pk_kcv : Types.version;
+    }
+  | Log_pop of { tag : Types.tag; up_to : Types.version }
+  | Log_lock of { ll_epoch : Types.epoch }
+  | Log_lock_reply of {
+      lk_kcv : Types.version;
+      lk_dv : Types.version;
+      lk_entries : log_entry list;
+    }
+  | Log_seed of { ls_entries : log_entry list }
+  | Ss_recover of {
+      sr_epoch : Types.epoch;
+      sr_rv : Types.version;
+      sr_history : (Types.epoch * Types.version) list;
+      sr_logs : (int * int) list;
+    }
+  | Ss_recover_ack of { version : Types.version }
+  | Storage_get of { key : string; version : Types.version; rv_epoch : Types.epoch }
+  | Storage_get_reply of string option
+  | Storage_get_range of {
+      gr_from : string;
+      gr_until : string;
+      gr_version : Types.version;
+      gr_limit : int;
+      gr_reverse : bool;
+      gr_epoch : Types.epoch;
+    }
+  | Storage_get_range_reply of (string * string) list
+  | Rk_get_rate
+  | Rk_rate of { tps : float }
+  | Ss_stats_req
+  | Ss_stats of {
+      ss_version : Types.version;
+      ss_durable : Types.version;
+      ss_window_events : int;
+      ss_lag : float;
+      ss_busy : float;
+    }
+
+let name = function
+  | Ok_reply -> "Ok_reply"
+  | Reject _ -> "Reject"
+  | Paxos_req _ -> "Paxos_req"
+  | Paxos_resp _ -> "Paxos_resp"
+  | Worker_ping -> "Worker_ping"
+  | Worker_pong -> "Worker_pong"
+  | Recruit_sequencer _ -> "Recruit_sequencer"
+  | Recruit_proxy _ -> "Recruit_proxy"
+  | Recruit_resolver _ -> "Recruit_resolver"
+  | Recruit_log _ -> "Recruit_log"
+  | Recruit_ratekeeper -> "Recruit_ratekeeper"
+  | Recruit_data_distributor -> "Recruit_data_distributor"
+  | Recruited _ -> "Recruited"
+  | Cc_get_state -> "Cc_get_state"
+  | Cc_state _ -> "Cc_state"
+  | Seq_ping -> "Seq_ping"
+  | Seq_pong _ -> "Seq_pong"
+  | Grv_req -> "Grv_req"
+  | Grv_reply _ -> "Grv_reply"
+  | Commit_req _ -> "Commit_req"
+  | Commit_reply _ -> "Commit_reply"
+  | Seq_grv -> "Seq_grv"
+  | Seq_grv_reply _ -> "Seq_grv_reply"
+  | Seq_version -> "Seq_version"
+  | Seq_version_reply _ -> "Seq_version_reply"
+  | Seq_report _ -> "Seq_report"
+  | Resolve_req _ -> "Resolve_req"
+  | Resolve_reply _ -> "Resolve_reply"
+  | Log_push _ -> "Log_push"
+  | Log_push_ack _ -> "Log_push_ack"
+  | Log_peek _ -> "Log_peek"
+  | Log_peek_reply _ -> "Log_peek_reply"
+  | Log_pop _ -> "Log_pop"
+  | Log_lock _ -> "Log_lock"
+  | Log_lock_reply _ -> "Log_lock_reply"
+  | Log_seed _ -> "Log_seed"
+  | Ss_recover _ -> "Ss_recover"
+  | Ss_recover_ack _ -> "Ss_recover_ack"
+  | Storage_get _ -> "Storage_get"
+  | Storage_get_reply _ -> "Storage_get_reply"
+  | Storage_get_range _ -> "Storage_get_range"
+  | Storage_get_range_reply _ -> "Storage_get_range_reply"
+  | Rk_get_rate -> "Rk_get_rate"
+  | Rk_rate _ -> "Rk_rate"
+  | Ss_stats_req -> "Ss_stats_req"
+  | Ss_stats _ -> "Ss_stats"
+
+let pp fmt m = Format.pp_print_string fmt (name m)

@@ -1,0 +1,65 @@
+(** Calibrated service-time and protocol-timing parameters.
+
+    These model where real FDB processes spend CPU, so that saturation and
+    queueing in the simulator reproduce the *shapes* of the paper's
+    evaluation figures (who saturates first, by what factor throughput
+    scales). EXPERIMENTS.md records the calibration rationale. All times in
+    seconds. *)
+
+val cpu_scale : float ref
+(** Global multiplier on every CPU service time (default 1.0). Benchmarks
+    raise it to run the paper's saturation experiments at a uniformly
+    scaled-down op rate: shapes (scaling factors, saturation knees, who
+    bottlenecks) are preserved while simulation cost drops by the same
+    factor. EXPERIMENTS.md documents the scale used per figure. *)
+
+val cpu : float -> float
+(** [cpu base] is the effective service time [base *. !cpu_scale]. *)
+
+(* {2 CPU service times} *)
+
+val sequencer_per_request : float
+val proxy_per_batch : float
+val proxy_per_txn : float
+val proxy_per_byte : float
+val resolver_per_txn : float
+(** ~3.5 µs: one single-threaded Resolver sustains ~280K TPS (paper §2.4.2). *)
+
+val resolver_per_range : float
+val log_per_push : float
+val log_per_byte : float
+(** LogServer CPU per logged byte — the write-path bottleneck (Figure 8a). *)
+
+val storage_per_point_read : float
+val storage_per_range_key : float
+val storage_per_apply : float
+val storage_per_apply_byte : float
+
+(* {2 Protocol timing} *)
+
+val grv_batch_interval : float
+
+val commit_batch_interval : float ref
+(** Mutable: the batching ablation bench sweeps it (§2.6). *)
+
+val max_commit_batch : int ref
+(** Mutable: the batching ablation sweeps it; 1 = no batching. *)
+
+val storage_peek_interval : float
+(** How often a StorageServer polls its LogServer for new mutations. *)
+
+val storage_durable_interval : float
+(** How often buffered window data is persisted (longer delay coalesces
+    I/O, paper §2.4.3). *)
+
+val heartbeat_interval : float
+val heartbeat_timeout : float
+val ratekeeper_interval : float
+val lease_duration : float
+(** ClusterController election lease. *)
+
+val storage_read_wait : float
+(** How long a StorageServer waits for a future version before erroring. *)
+
+val client_read_timeout : float
+(** Per-replica read attempt timeout before trying another replica. *)

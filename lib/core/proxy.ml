@@ -1,0 +1,437 @@
+open Fdb_sim
+open Future.Syntax
+module Mutation = Fdb_kv.Mutation
+
+type pending_commit = Message.txn_request * Message.t Future.promise
+
+type t = {
+  ctx : Context.t;
+  proc : Process.t;
+  ep : int;
+  epoch : Types.epoch;
+  sequencer : int;
+  resolvers : (Message.key_range * int) list;
+  logs : (int * int) list;
+  ratekeeper : int option;
+  mutable kcv : Types.version;
+  mutable dead : bool;
+  (* GRV batching + rate limiting *)
+  mutable grv_queue : Message.t Future.promise list;
+  mutable grv_flush_scheduled : bool;
+  mutable rate : float; (* transactions/second budget from the Ratekeeper *)
+  mutable tokens : float;
+  mutable last_refill : float;
+  (* commit batching *)
+  mutable commit_queue : pending_commit list;
+  mutable commit_flush_scheduled : bool;
+}
+
+let known_committed t = t.kcv
+let is_dead t = t.dead
+
+let die t reason =
+  if not t.dead then begin
+    t.dead <- true;
+    Trace.emit "proxy_die" [ ("epoch", string_of_int t.epoch); ("reason", reason) ]
+  end
+
+(* ---------- GRV path ---------- *)
+
+let refill_tokens t =
+  let now = Engine.now () in
+  let dt = now -. t.last_refill in
+  t.last_refill <- now;
+  let cap = max 2000.0 (t.rate *. 0.2) in
+  t.tokens <- Float.min cap (t.tokens +. (dt *. t.rate))
+
+let rec grv_flush t =
+  t.grv_flush_scheduled <- false;
+  match t.grv_queue with
+  | [] -> Future.return ()
+  | _ ->
+      refill_tokens t;
+      let available = int_of_float t.tokens in
+      if available <= 0 then begin
+        (* Ratekeeper throttling: try again shortly; requests queue up. *)
+        let* () = Engine.sleep 0.01 in
+        grv_flush t
+      end
+      else begin
+        let batch, rest =
+          let rec split n acc = function
+            | [] -> (List.rev acc, [])
+            | l when n = 0 -> (List.rev acc, l)
+            | x :: tl -> split (n - 1) (x :: acc) tl
+          in
+          split available [] (List.rev t.grv_queue)
+        in
+        t.grv_queue <- List.rev rest;
+        t.tokens <- t.tokens -. float_of_int (List.length batch);
+        let* () = Engine.cpu t.proc Params.proxy_per_batch in
+        let* reply =
+          Future.catch
+            (fun () ->
+              Context.rpc t.ctx ~timeout:2.0 ~from:t.proc t.sequencer Message.Seq_grv)
+            (fun _ ->
+              (* Our sequencer is unreachable: this generation is over. *)
+              die t "sequencer unreachable (grv)";
+              Future.return (Message.Reject Error.Database_locked))
+        in
+        (match reply with
+        | Message.Seq_grv_reply { read_version; grv_epoch } ->
+            List.iter
+              (fun p ->
+                ignore
+                  (Future.try_fulfill p
+                     (Message.Grv_reply { gv_version = read_version; gv_epoch = grv_epoch })))
+              batch
+        | _ ->
+            List.iter
+              (fun p ->
+                ignore (Future.try_fulfill p (Message.Reject Error.Database_locked)))
+              batch);
+        if t.grv_queue <> [] then grv_flush t else Future.return ()
+      end
+
+let schedule_grv_flush t =
+  if not t.grv_flush_scheduled then begin
+    t.grv_flush_scheduled <- true;
+    Engine.schedule ~after:Params.grv_batch_interval ~process:t.proc (fun () ->
+        Engine.spawn ~process:t.proc "proxy-grv-flush" (fun () -> grv_flush t))
+  end
+
+(* ---------- commit path ---------- *)
+
+let stamp_bytes version index =
+  Types.version_to_bytes version
+  ^ String.init 2 (fun i -> Char.chr ((index lsr (8 * (1 - i))) land 0xff))
+
+let splice template offset stamp =
+  let b = Bytes.of_string template in
+  Bytes.blit_string stamp 0 b offset (String.length stamp);
+  Bytes.to_string b
+
+let materialize_mutations version index (txn : Message.txn_request) =
+  List.map
+    (fun (m : Message.client_mutation) ->
+      match m with
+      | Message.Plain p -> p
+      | Message.Versionstamped_key { template; offset; value } ->
+          Mutation.Set (splice template offset (stamp_bytes version index), value)
+      | Message.Versionstamped_value { key; template; offset } ->
+          Mutation.Set (key, splice template offset (stamp_bytes version index)))
+    txn.Message.tr_mutations
+
+let clip_ranges (lo, hi) ranges =
+  List.filter_map
+    (fun (f, u) ->
+      let f' = if f > lo then f else lo in
+      let u' = if u < hi then u else hi in
+      if f' < u' then Some (f', u') else None)
+    ranges
+
+let txn_bytes (txn : Message.txn_request) =
+  List.fold_left
+    (fun acc (m : Message.client_mutation) ->
+      acc
+      +
+      match m with
+      | Message.Plain p -> Mutation.byte_size p
+      | Message.Versionstamped_key { template; value; _ } ->
+          String.length template + String.length value
+      | Message.Versionstamped_value { key; template; _ } ->
+          String.length key + String.length template)
+    0 txn.Message.tr_mutations
+
+(* Resolve the batch on every resolver; a resolver that cannot answer
+   yields all-conflict (safe: nothing was logged for those transactions). *)
+let resolve_batch t lsn prev txns =
+  let n = Array.length txns in
+  let per_resolver =
+    List.map
+      (fun (range, ep) ->
+        let clipped =
+          Array.map
+            (fun (txn : Message.txn_request) ->
+              ( txn.Message.tr_read_version,
+                clip_ranges range txn.Message.tr_reads,
+                clip_ranges range txn.Message.tr_writes ))
+            txns
+        in
+        Future.catch
+          (fun () ->
+            let* reply =
+              Context.rpc t.ctx ~timeout:2.0 ~from:t.proc ep
+                (Message.Resolve_req
+                   { rs_epoch = t.epoch; rs_lsn = lsn; rs_prev = prev; rs_txns = clipped })
+            in
+            match reply with
+            | Message.Resolve_reply verdicts -> Future.return verdicts
+            | _ -> Future.return (Array.make n Message.V_conflict))
+          (fun _ -> Future.return (Array.make n Message.V_conflict)))
+      t.resolvers
+  in
+  let* all = Future.all per_resolver in
+  let combined =
+    Array.init n (fun i ->
+        List.fold_left
+          (fun acc verdicts ->
+            match (acc, verdicts.(i)) with
+            | Message.V_commit, v -> v
+            | acc, Message.V_commit -> acc
+            | Message.V_too_old, _ | _, Message.V_too_old -> Message.V_too_old
+            | Message.V_conflict, Message.V_conflict -> Message.V_conflict)
+          Message.V_commit all)
+  in
+  Future.return combined
+
+(* Figure 2: route each mutation to the LogServers replicating its tags;
+   every LogServer receives the entry (possibly with an empty payload). *)
+let build_log_entries t lsn prev committed_mutations =
+  let n_logs = List.length t.logs in
+  let replication = t.ctx.Context.config.Config.log_replication in
+  let per_log : (Types.tag * Mutation.t list) list array = Array.make n_logs [] in
+  List.iter
+    (fun (m : Mutation.t) ->
+      let tags = Shard_map.tags_for_mutation t.ctx.Context.shard_map m in
+      List.iter
+        (fun tag ->
+          List.iter
+            (fun li ->
+              let existing = per_log.(li) in
+              per_log.(li) <-
+                (match List.assoc_opt tag existing with
+                | Some muts ->
+                    (tag, muts @ [ m ]) :: List.remove_assoc tag existing
+                | None -> (tag, [ m ]) :: existing))
+            (List.init (min replication n_logs) (fun i -> (tag + i) mod n_logs)))
+        tags)
+    committed_mutations;
+  Array.map
+    (fun payload ->
+      { Message.le_lsn = lsn; le_prev = prev; le_kcv = t.kcv; le_payload = payload })
+    per_log
+
+let push_to_logs t entries =
+  let pushes =
+    List.mapi
+      (fun i (_, ep) ->
+        let entry = entries.(i) in
+        let bytes =
+          List.fold_left
+            (fun acc (_, muts) ->
+              List.fold_left (fun a m -> a + Mutation.byte_size m) acc muts)
+            0 entry.Message.le_payload
+        in
+        Future.catch
+          (fun () ->
+            let* reply =
+              Context.rpc t.ctx ~timeout:3.0 ~bytes ~from:t.proc ep
+                (Message.Log_push { lp_epoch = t.epoch; lp_entry = entry })
+            in
+            match reply with
+            | Message.Log_push_ack _ -> Future.return true
+            | _ -> Future.return false)
+          (fun _ -> Future.return false))
+      t.logs
+  in
+  let* acks = Future.all pushes in
+  Future.return (List.for_all Fun.id acks)
+
+let commit_batch t (batch : pending_commit list) =
+  let txns = Array.of_list (List.map fst batch) in
+  let promises = Array.of_list (List.map snd batch) in
+  let n = Array.length txns in
+  let bytes = Array.fold_left (fun acc txn -> acc + txn_bytes txn) 0 txns in
+  let* () =
+    Engine.cpu t.proc
+      (Params.proxy_per_batch
+      +. Params.cpu
+           ((Params.proxy_per_txn *. float_of_int n)
+           +. (Params.proxy_per_byte *. float_of_int bytes)))
+  in
+  (* Buggify: an unusually slow proxy exercises pipelining and timeouts. *)
+  let* () = Engine.sleep (Buggify.delay ~p:0.05 "proxy_slow_commit" /. 20.0) in
+  (* One commit version for the whole batch (§2.6 Transaction batching). *)
+  let* version_reply =
+    Future.catch
+      (fun () -> Context.rpc t.ctx ~timeout:2.0 ~from:t.proc t.sequencer Message.Seq_version)
+      (fun _ ->
+        die t "sequencer unreachable (commit)";
+        Future.return (Message.Reject Error.Database_locked))
+  in
+  match version_reply with
+  | Message.Seq_version_reply { version = lsn; prev } ->
+      let* verdicts = resolve_batch t lsn prev txns in
+      (* Abort losers immediately; build the committed payload. *)
+      let committed_mutations = ref [] in
+      Array.iteri
+        (fun i verdict ->
+          match verdict with
+          | Message.V_commit ->
+              committed_mutations := !committed_mutations @ materialize_mutations lsn i txns.(i)
+          | Message.V_conflict ->
+              ignore (Future.try_fulfill promises.(i) (Message.Reject Error.Not_committed))
+          | Message.V_too_old ->
+              ignore
+                (Future.try_fulfill promises.(i) (Message.Reject Error.Transaction_too_old)))
+        verdicts;
+      let entries = build_log_entries t lsn prev !committed_mutations in
+      let* all_acked = push_to_logs t entries in
+      if not all_acked then begin
+        (* Durability unknown: recovery will decide. Fail the epoch. *)
+        Array.iteri
+          (fun i verdict ->
+            if verdict = Message.V_commit then
+              ignore
+                (Future.try_fulfill promises.(i) (Message.Reject Error.Commit_unknown_result)))
+          verdicts;
+        die t "log push failed";
+        Future.return ()
+      end
+      else begin
+        if lsn > t.kcv then t.kcv <- lsn;
+        (* Report the committed version to the Sequencer and wait for the
+           acknowledgment BEFORE replying to clients (§2.4.1): a client
+           holding our reply may immediately obtain a read version from any
+           proxy, and that version must cover this commit. A fire-and-forget
+           report races that GRV and yields stale snapshots (found by the
+           read-your-writes property test). *)
+        let* reported =
+          Future.catch
+            (fun () ->
+              let* _ =
+                Context.rpc t.ctx ~timeout:2.0 ~from:t.proc t.sequencer
+                  (Message.Seq_report { committed = lsn })
+              in
+              Future.return true)
+            (fun _ -> Future.return false)
+        in
+        if not reported then begin
+          (* Durable but unannounced: only a new generation restores the
+             GRV guarantee; clients must treat the outcome as unknown. *)
+          Array.iteri
+            (fun i verdict ->
+              if verdict = Message.V_commit then
+                ignore
+                  (Future.try_fulfill promises.(i)
+                     (Message.Reject Error.Commit_unknown_result)))
+            verdicts;
+          die t "sequencer unreachable (report)";
+          Future.return ()
+        end
+        else begin
+          Array.iteri
+            (fun i verdict ->
+              if verdict = Message.V_commit then
+                ignore (Future.try_fulfill promises.(i) (Message.Commit_reply lsn)))
+            verdicts;
+          Future.return ()
+        end
+      end
+  | _ ->
+      (* No version, nothing logged: definitely not committed. *)
+      Array.iter
+        (fun p -> ignore (Future.try_fulfill p (Message.Reject Error.Database_locked)))
+        promises;
+      Future.return ()
+
+let rec commit_flush t =
+  t.commit_flush_scheduled <- false;
+  match t.commit_queue with
+  | [] -> Future.return ()
+  | queue ->
+      let all = List.rev queue in
+      let rec split n acc = function
+        | [] -> (List.rev acc, [])
+        | l when n = 0 -> (List.rev acc, l)
+        | x :: tl -> split (n - 1) (x :: acc) tl
+      in
+      let batch, rest = split !Params.max_commit_batch [] all in
+      t.commit_queue <- List.rev rest;
+      let* () = commit_batch t batch in
+      if t.commit_queue <> [] then commit_flush t else Future.return ()
+
+let schedule_commit_flush t ~now =
+  if not t.commit_flush_scheduled then begin
+    t.commit_flush_scheduled <- true;
+    let delay = if now then 0.0 else !Params.commit_batch_interval in
+    Engine.schedule ~after:delay ~process:t.proc (fun () ->
+        Engine.spawn ~process:t.proc "proxy-commit-flush" (fun () -> commit_flush t))
+  end
+
+(* ---------- rate polling ---------- *)
+
+let rate_loop t =
+  match t.ratekeeper with
+  | None -> Future.return ()
+  | Some rk ->
+      let rec loop () =
+        if t.dead then Future.return ()
+        else
+          let* () = Engine.sleep Params.ratekeeper_interval in
+          let* () =
+            Future.catch
+              (fun () ->
+                let* reply =
+                  Context.rpc t.ctx ~timeout:1.0 ~from:t.proc rk Message.Rk_get_rate
+                in
+                (match reply with
+                | Message.Rk_rate { tps } ->
+                    (* The budget is cluster-wide; each proxy admits its
+                       share (FDB hands out per-proxy budgets the same way). *)
+                    t.rate <- tps /. float_of_int (max 1 t.ctx.Context.config.Config.proxies)
+                | _ -> ());
+                Future.return ())
+              (fun _ -> Future.return ())
+          in
+          loop ()
+      in
+      loop ()
+
+(* ---------- RPC surface ---------- *)
+
+let handle t (msg : Message.t) : Message.t Future.t =
+  if t.dead then Future.return (Message.Reject Error.Wrong_epoch)
+  else
+    match msg with
+    | Message.Seq_ping -> Future.return Message.Ok_reply
+    | Message.Grv_req ->
+        let fut, promise = Future.make () in
+        t.grv_queue <- promise :: t.grv_queue;
+        schedule_grv_flush t;
+        fut
+    | Message.Commit_req txn ->
+        let fut, promise = Future.make () in
+        t.commit_queue <- (txn, promise) :: t.commit_queue;
+        schedule_commit_flush t
+          ~now:(List.length t.commit_queue >= !Params.max_commit_batch);
+        fut
+    | _ -> Future.return (Message.Reject (Error.Internal "proxy: unexpected message"))
+
+let create ctx proc ~epoch ~sequencer ~resolvers ~logs ~ratekeeper ~recovery_version =
+  let ep = Network.fresh_endpoint ctx.Context.net in
+  let t =
+    {
+      ctx;
+      proc;
+      ep;
+      epoch;
+      sequencer;
+      resolvers;
+      logs;
+      ratekeeper;
+      kcv = recovery_version;
+      dead = false;
+      grv_queue = [];
+      grv_flush_scheduled = false;
+      rate = 1e5;
+      tokens = 2000.0;
+      last_refill = Engine.now ();
+      commit_queue = [];
+      commit_flush_scheduled = false;
+    }
+  in
+  Network.register ctx.Context.net ep proc (handle t);
+  Engine.spawn ~process:proc "proxy-rate" (fun () -> rate_loop t);
+  (t, ep)

@@ -1,0 +1,28 @@
+(** The Proxy: client front door for read versions and commits
+    (paper §2.4.1, Figure 1).
+
+    GRV requests are batched (one Sequencer round-trip serves the batch,
+    §2.6) and rate-limited by the Ratekeeper's current TPS. Commits are
+    batched, assigned one commit version / LSN per batch, resolved against
+    every Resolver, stamped (versionstamp operations), fanned out to every
+    LogServer with per-tag payloads (Figure 2), and acknowledged to clients
+    only after {e all} LogServers confirm durability — the paper's
+    all-replicas rule that lets recovery use RV = min DV. A proxy that
+    cannot complete this pipeline marks itself failed so the Sequencer's
+    monitor ends the epoch. *)
+
+type t
+
+val create :
+  Context.t ->
+  Fdb_sim.Process.t ->
+  epoch:Types.epoch ->
+  sequencer:int ->
+  resolvers:(Message.key_range * int) list ->
+  logs:(int * int) list ->
+  ratekeeper:int option ->
+  recovery_version:Types.version ->
+  t * int
+
+val known_committed : t -> Types.version
+val is_dead : t -> bool

@@ -1,0 +1,76 @@
+open Fdb_sim
+open Future.Syntax
+
+type t = {
+  ctx : Context.t;
+  proc : Process.t;
+  ep : int;
+  mutable rate : float;
+  mutable alive : bool;
+}
+
+let max_rate = 5e6
+let min_rate = 100.0
+let lag_limit = 2.0 (* seconds of storage lag before throttling *)
+let window_limit = 2_000_000 (* buffered window events before throttling *)
+let busy_limit = 0.2 (* seconds of storage CPU queue before throttling *)
+
+let current_rate t = t.rate
+
+let collect t =
+  let eps = Array.to_list t.ctx.Context.storage_eps in
+  let calls =
+    List.map
+      (fun ep ->
+        Future.catch
+          (fun () ->
+            let* reply =
+              Context.rpc t.ctx ~timeout:1.0 ~from:t.proc ep Message.Ss_stats_req
+            in
+            match reply with
+            | Message.Ss_stats { ss_lag; ss_window_events; ss_busy; _ } ->
+                Future.return (Some (ss_lag, ss_window_events, ss_busy))
+            | _ -> Future.return None)
+          (fun _ -> Future.return None))
+      eps
+  in
+  Future.map (Future.all calls) (List.filter_map Fun.id)
+
+let control_loop t =
+  let rec loop () =
+    if not t.alive then Future.return ()
+    else
+      let* () = Engine.sleep Params.ratekeeper_interval in
+      let* stats = collect t in
+      let worst_lag, worst_window, worst_busy =
+        List.fold_left
+          (fun (lag, win, busy) (ss_lag, ss_window_events, ss_busy) ->
+            (Float.max lag ss_lag, max win ss_window_events, Float.max busy ss_busy))
+          (0.0, 0, 0.0) stats
+      in
+      let overloaded =
+        worst_lag > lag_limit || worst_window > window_limit || worst_busy > busy_limit
+      in
+      if overloaded then t.rate <- Float.max min_rate (t.rate *. 0.7)
+      else t.rate <- Float.min max_rate ((t.rate *. 1.05) +. 100.0);
+      Trace.emit "ratekeeper_tick"
+        [ ("rate", Printf.sprintf "%.0f" t.rate);
+          ("worst_lag", Printf.sprintf "%.3f" worst_lag);
+          ("worst_busy", Printf.sprintf "%.3f" worst_busy);
+          ("worst_window", string_of_int worst_window) ];
+      loop ()
+  in
+  loop ()
+
+let handle t (msg : Message.t) : Message.t Future.t =
+  match msg with
+  | Message.Seq_ping -> Future.return Message.Ok_reply
+  | Message.Rk_get_rate -> Future.return (Message.Rk_rate { tps = t.rate })
+  | _ -> Future.return (Message.Reject (Error.Internal "ratekeeper: unexpected message"))
+
+let create ctx proc =
+  let ep = Network.fresh_endpoint ctx.Context.net in
+  let t = { ctx; proc; ep; rate = 1e5; alive = true } in
+  Network.register ctx.Context.net ep proc (handle t);
+  Engine.spawn ~process:proc "ratekeeper" (fun () -> control_loop t);
+  (t, ep)

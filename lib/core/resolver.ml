@@ -1,0 +1,137 @@
+open Fdb_sim
+open Future.Syntax
+module Rvm = Fdb_kv.Range_version_map
+
+type t = {
+  ctx : Context.t;
+  proc : Process.t;
+  ep : int;
+  epoch : Types.epoch;
+  range : Message.key_range;
+  rvm : Rvm.t;
+  mutable last_lsn : Types.version;
+  (* Batches whose predecessor has not arrived yet, keyed by their prev. *)
+  parked : (Types.version, Message.t * Message.t Future.promise) Hashtbl.t;
+  (* Replay cache so duplicate deliveries get consistent verdicts. *)
+  verdicts : (Types.version, Message.resolver_verdict array) Hashtbl.t;
+}
+
+let last_lsn t = t.last_lsn
+let entry_count t = Rvm.entry_count t.rvm
+
+let clip (lo, hi) (from, until) =
+  let f = if from > lo then from else lo in
+  let u = if until < hi then until else hi in
+  if f < u then Some (f, u) else None
+
+(* Algorithm 1, over the whole batch: within a batch, earlier transactions'
+   writes are visible to later conflict checks because commits share the
+   batch's single version. *)
+let check_batch t lsn txns =
+  Array.map
+    (fun (read_version, reads, writes) ->
+      (* Blind writes carry no snapshot: nothing to check, nothing too old. *)
+      if reads <> [] && read_version < Rvm.oldest t.rvm then Message.V_too_old
+      else begin
+        let conflicted =
+          List.exists
+            (fun r ->
+              match clip t.range r with
+              | None -> false
+              | Some (from, until) ->
+                  Rvm.max_version t.rvm ~from ~until > read_version)
+            reads
+        in
+        if conflicted then Message.V_conflict
+        else begin
+          List.iter
+            (fun w ->
+              match clip t.range w with
+              | None -> ()
+              | Some (from, until) -> Rvm.note_write t.rvm ~from ~until lsn)
+            writes;
+          Message.V_commit
+        end
+      end)
+    txns
+
+let cost txns =
+  Array.fold_left
+    (fun acc (_, reads, writes) ->
+      acc +. Params.resolver_per_txn
+      +. (Params.resolver_per_range *. float_of_int (List.length reads + List.length writes)))
+    0.0 txns
+
+let rec process t lsn prev txns =
+  assert (prev = t.last_lsn);
+  let* () = Engine.cpu t.proc (Params.cpu (cost txns)) in
+  let verdicts = check_batch t lsn txns in
+  t.last_lsn <- lsn;
+  Hashtbl.replace t.verdicts lsn verdicts;
+  (* Unpark the successor, if it already arrived. *)
+  (match Hashtbl.find_opt t.parked lsn with
+  | Some (Message.Resolve_req { rs_lsn; rs_prev; rs_txns; _ }, promise) ->
+      Hashtbl.remove t.parked lsn;
+      Engine.spawn ~process:t.proc "resolver-unpark" (fun () ->
+          let* reply = process t rs_lsn rs_prev rs_txns in
+          ignore (Future.try_fulfill promise reply);
+          Future.return ())
+  | Some _ | None -> ());
+  Future.return (Message.Resolve_reply verdicts)
+
+let handle t (msg : Message.t) : Message.t Future.t =
+  match msg with
+  | Message.Seq_ping -> Future.return Message.Ok_reply
+  | Message.Resolve_req { rs_epoch; rs_lsn; rs_prev; rs_txns } ->
+      if rs_epoch <> t.epoch then Future.return (Message.Reject Error.Wrong_epoch)
+      else if rs_lsn <= t.last_lsn then (
+        (* Duplicate delivery: replay the original verdicts. *)
+        match Hashtbl.find_opt t.verdicts rs_lsn with
+        | Some v -> Future.return (Message.Resolve_reply v)
+        | None -> Future.return (Message.Reject (Error.Internal "stale resolve")))
+      else if rs_prev = t.last_lsn then process t rs_lsn rs_prev rs_txns
+      else begin
+        (* Out of order: park until the chain catches up. *)
+        let fut, promise = Future.make () in
+        Hashtbl.replace t.parked rs_prev (msg, promise);
+        fut
+      end
+  | _ -> Future.return (Message.Reject (Error.Internal "resolver: unexpected message"))
+
+(* Coalesce history that has left the MVCC window (§2.4.2: "modified keys
+   expire after the MVCC window"). *)
+let expiry_loop t =
+  let window_versions =
+    Int64.of_float (t.ctx.Context.config.Config.mvcc_window *. Types.versions_per_second)
+  in
+  let rec loop () =
+    let* () = Engine.sleep 1.0 in
+    let floor = Int64.sub t.last_lsn window_versions in
+    if floor > 0L then begin
+      Rvm.expire t.rvm ~before:floor;
+      Hashtbl.iter
+        (fun lsn _ -> if lsn < floor then Hashtbl.remove t.verdicts lsn)
+        (Hashtbl.copy t.verdicts)
+    end;
+    loop ()
+  in
+  loop ()
+
+let create ctx proc ~epoch ~range ~start_lsn =
+  let ep = Network.fresh_endpoint ctx.Context.net in
+  let t =
+    {
+      ctx;
+      proc;
+      ep;
+      epoch;
+      range;
+      rvm = Rvm.create ~rng:(Engine.fork_rng ()) ();
+      last_lsn = start_lsn;
+      parked = Hashtbl.create 16;
+      verdicts = Hashtbl.create 1024;
+    }
+  in
+  Network.register ctx.Context.net ep proc (handle t);
+  Engine.spawn ~process:proc "resolver-expiry" (fun () -> expiry_loop t);
+  (t, ep)

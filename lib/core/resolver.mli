@@ -1,0 +1,23 @@
+(** The Resolver: lock-free OCC conflict detection (paper §2.4.2,
+    Algorithm 1) over one partition of the key space.
+
+    Batches arrive tagged with (LSN, previous LSN) and are processed
+    strictly in LSN-chain order — out-of-order arrivals are parked until
+    the chain fills in. History older than the MVCC window is coalesced
+    away; transactions whose read version predates the window are aborted
+    as too old. *)
+
+type t
+
+val create :
+  Context.t ->
+  Fdb_sim.Process.t ->
+  epoch:Types.epoch ->
+  range:Message.key_range ->
+  start_lsn:Types.version ->
+  t * int
+(** Instantiate and register; returns the endpoint. *)
+
+val last_lsn : t -> Types.version
+val entry_count : t -> int
+(** Size of the lastCommit history (diagnostics). *)

@@ -1,0 +1,24 @@
+(** The Sequencer: version authority and recovery orchestrator.
+
+    On creation (recruited by the ClusterController) it runs the §2.4.4
+    recovery: lock the coordinated state, stop the previous epoch's
+    LogServers, compute PEV = max KCV and RV = min DV, recruit and seed a
+    new transaction system, write the new configuration to the
+    coordinators, and tell StorageServers to roll back past RV. Afterwards
+    it hands out read versions (max acknowledged commit) and commit
+    versions (monotonic, ~1M/s, forming the LSN chain), and monitors its
+    proxies / resolvers / LogServers — any failure makes it terminate so
+    the ClusterController starts the next generation (§2.3.5). *)
+
+type t
+
+val create : Context.t -> Fdb_sim.Process.t -> ratekeeper:int option -> t * int
+(** Instantiate on a process and return its endpoint. Registration and the
+    recovery actor start immediately; the sequencer serves
+    [Reject Database_locked] until recovery completes. *)
+
+val epoch : t -> Types.epoch
+val is_recovered : t -> bool
+val is_dead : t -> bool
+val recovery_version : t -> Types.version
+val proxies : t -> int list

@@ -1,0 +1,115 @@
+type t = {
+  boundaries : (string * string) array; (* shard i covers [fst, snd) *)
+  teams : int list array; (* shard i -> storage server ids *)
+  per_ss : (string * string) list array; (* ss id -> ranges served *)
+  config : Config.t;
+}
+
+(* Shard boundaries are two-byte prefixes splitting [""; "\xff\xff") evenly.
+   User keys hash into them by their leading bytes; the final shard also
+   covers the system key space. *)
+let boundary shards i =
+  if i = 0 then ""
+  else if i >= shards then Types.system_key_space_end
+  else begin
+    let x = i * 65536 / shards in
+    String.init 2 (fun b -> Char.chr ((x lsr (8 * (1 - b))) land 0xff))
+  end
+
+let machine_of_ss config ss = ss / config.Config.storage_per_machine
+let rack_of_machine config m = m mod config.Config.racks
+
+(* Pick a team for shard [i]: walk storage servers from an offset, greedily
+   preferring new racks, then new machines, then anything — the §2.5
+   hierarchical placement, degraded gracefully for tiny clusters. *)
+let pick_team config n_ss i =
+  let k = min config.Config.storage_replication n_ss in
+  let start = i mod n_ss in
+  let chosen = ref [] in
+  let used_machines = ref [] and used_racks = ref [] in
+  let try_pass accept =
+    for d = 0 to n_ss - 1 do
+      let ss = (start + d) mod n_ss in
+      if List.length !chosen < k && not (List.mem ss !chosen) then begin
+        let m = machine_of_ss config ss in
+        let r = rack_of_machine config m in
+        if accept m r then begin
+          chosen := !chosen @ [ ss ];
+          used_machines := m :: !used_machines;
+          used_racks := r :: !used_racks
+        end
+      end
+    done
+  in
+  try_pass (fun m r -> (not (List.mem m !used_machines)) && not (List.mem r !used_racks));
+  try_pass (fun m _ -> not (List.mem m !used_machines));
+  try_pass (fun _ _ -> true);
+  !chosen
+
+let build config =
+  let n_ss = Config.storage_count config in
+  let boundaries =
+    match config.Config.shard_boundaries with
+    | [] ->
+        let shards = max 1 (n_ss * config.Config.shards_per_storage) in
+        Array.init shards (fun i -> (boundary shards i, boundary shards (i + 1)))
+    | splits ->
+        let splits = List.sort_uniq compare splits in
+        let points = ("" :: splits) @ [ Types.system_key_space_end ] in
+        let arr = Array.of_list points in
+        Array.init (Array.length arr - 1) (fun i -> (arr.(i), arr.(i + 1)))
+  in
+  let shards = Array.length boundaries in
+  let teams = Array.init shards (fun i -> pick_team config n_ss i) in
+  let per_ss = Array.make n_ss [] in
+  Array.iteri
+    (fun i team ->
+      let range = boundaries.(i) in
+      List.iter (fun ss -> per_ss.(ss) <- range :: per_ss.(ss)) team)
+    teams;
+  Array.iteri (fun i l -> per_ss.(i) <- List.rev l) per_ss;
+  { boundaries; teams; per_ss; config }
+
+let shard_count t = Array.length t.boundaries
+
+(* Binary search for the shard containing [key]. *)
+let shard_index t key =
+  let lo = ref 0 and hi = ref (Array.length t.boundaries - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if fst t.boundaries.(mid) <= key then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+let team_for_key t key = t.teams.(shard_index t key)
+
+let shards_for_range t ~from ~until =
+  if from >= until then []
+  else begin
+    let first = shard_index t from in
+    let out = ref [] in
+    let i = ref first in
+    let continue = ref true in
+    while !continue && !i < Array.length t.boundaries do
+      let lo, hi = t.boundaries.(!i) in
+      if lo >= until then continue := false
+      else begin
+        let f = if lo > from then lo else from in
+        let u = if hi < until then hi else until in
+        if f < u then out := (f, u, t.teams.(!i)) :: !out;
+        incr i
+      end
+    done;
+    List.rev !out
+  end
+
+let shards_of_storage t ss = t.per_ss.(ss)
+
+let tags_for_mutation t (m : Fdb_kv.Mutation.t) =
+  let from, until = Fdb_kv.Mutation.key_range m in
+  shards_for_range t ~from ~until
+  |> List.concat_map (fun (_, _, team) -> team)
+  |> List.sort_uniq compare
+
+let tag_teams t = t.teams
+let ranges t = t.boundaries

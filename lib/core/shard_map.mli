@@ -1,0 +1,34 @@
+(** Key-range sharding and replica-team placement (paper §2.5).
+
+    The key space is split into contiguous shards; each shard is served by a
+    {e team} of [storage_replication] StorageServers whose members are
+    placed in distinct fault domains where possible (the hierarchical
+    replication policy of §2.5). Each StorageServer has a unique {e tag}
+    (equal to its id) naming its mutation stream on the LogServers. *)
+
+type t
+
+val build : Config.t -> t
+(** Deterministic initial placement for a deployment. *)
+
+val shard_count : t -> int
+
+val team_for_key : t -> string -> int list
+(** StorageServer ids replicating the shard that contains the key. *)
+
+val shards_for_range :
+  t -> from:string -> until:string -> (string * string * int list) list
+(** Shard fragments covering [\[from, until)]: each element is the
+    intersected range and its team. *)
+
+val shards_of_storage : t -> int -> (string * string) list
+(** Ranges a given StorageServer serves. *)
+
+val tags_for_mutation : t -> Fdb_kv.Mutation.t -> int list
+(** All tags (StorageServer ids) that must receive the mutation. *)
+
+val tag_teams : t -> int list array
+(** For each shard index, the team (for tests / status). *)
+
+val ranges : t -> (string * string) array
+(** Shard boundaries. *)

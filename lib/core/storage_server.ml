@@ -1,0 +1,476 @@
+open Fdb_sim
+open Future.Syntax
+module Mutation = Fdb_kv.Mutation
+module Window = Fdb_kv.Version_window
+module Pstore = Fdb_kv.Persistent_store
+
+let version_meta_key = "\xff\xff/ss/version"
+
+type t = {
+  ctx : Context.t;
+  proc : Process.t;
+  ep : int;
+  id : int; (* also the tag *)
+  disk : Disk.t;
+  shards : (string * string) list;
+  pstore : Pstore.t;
+  window : Window.t;
+  mutable version : Types.version; (* caught up through this version *)
+  mutable durable : Types.version;
+  mutable kcv : Types.version; (* durability floor learned from logs *)
+  mutable epoch : Types.epoch;
+  mutable logs : (int * int) list;
+  mutable waiters : (Types.version * unit Future.promise) list;
+  mutable stale_pulls : int; (* consecutive failed peeks *)
+  mutable refreshing : bool; (* single-flight coordinator consultation *)
+  mutable alive : bool;
+}
+
+let version t = t.version
+let durable_version t = t.durable
+let window_events t = Window.event_count t.window
+
+let time_version () = Int64.of_float (Engine.now () *. Types.versions_per_second)
+
+let lag_seconds t =
+  let lag = Int64.to_float (Int64.sub (time_version ()) t.version) /. Types.versions_per_second in
+  if lag < 0.0 then 0.0 else lag
+
+let in_shards t key =
+  List.exists (fun (lo, hi) -> lo <= key && key < hi) t.shards
+
+let clip_to_shards t ~from ~until =
+  List.filter_map
+    (fun (lo, hi) ->
+      let f = if from > lo then from else lo in
+      let u = if until < hi then until else hi in
+      if f < u then Some (f, u) else None)
+    t.shards
+
+(* Value visible at [v] while applying version [v] itself: within one
+   commit version, later mutations must observe earlier ones (atomic ops
+   stack), so the probe version is the version being applied. *)
+let read_for_apply t v key =
+  match Window.read t.window v key with
+  | Window.Value value -> Some value
+  | Window.Cleared -> None
+  | Window.Unknown -> Pstore.get t.pstore key
+
+let apply_mutation t v (m : Mutation.t) =
+  match m with
+  | Mutation.Atomic (kind, key, operand) ->
+      let old_value = read_for_apply t v key in
+      let next = Mutation.atomic_result kind ~old_value operand in
+      let concrete =
+        match next with Some value -> Mutation.Set (key, value) | None -> Mutation.Clear key
+      in
+      Window.apply t.window v concrete
+  | _ -> Window.apply t.window v m
+
+let wake_waiters t =
+  let ready, waiting = List.partition (fun (v, _) -> v <= t.version) t.waiters in
+  t.waiters <- waiting;
+  List.iter (fun (_, p) -> ignore (Future.try_fulfill p ())) ready
+
+let apply_entries t ~as_of_epoch entries end_v kcv =
+  (* Strictly sequential: mutations must enter the window in version order.
+     Abort if a newer generation was adopted mid-batch (the awaits below
+     yield): these entries came from the old generation's logs and may sit
+     above the rollback boundary. *)
+  let rec go = function
+    | [] -> Future.return ()
+    | _ when t.epoch <> as_of_epoch -> Future.return ()
+    | (v, muts) :: rest ->
+        if v <= t.version then go rest
+        else begin
+          let bytes = List.fold_left (fun a m -> a + Mutation.byte_size m) 0 muts in
+          let* () =
+            Engine.cpu t.proc
+              (Params.cpu
+                 (Params.storage_per_apply
+                 +. (Params.storage_per_apply_byte *. float_of_int bytes)))
+          in
+          List.iter
+            (fun m ->
+              let lo, hi = Mutation.key_range m in
+              (* Only apply the parts of the mutation we serve. *)
+              match m with
+              | Mutation.Clear_range _ ->
+                  List.iter
+                    (fun (f, u) -> apply_mutation t v (Mutation.Clear_range (f, u)))
+                    (clip_to_shards t ~from:lo ~until:hi)
+              | _ -> if in_shards t lo then apply_mutation t v m)
+            muts;
+          if v > t.version then t.version <- v;
+          go rest
+        end
+  in
+  let* () = go entries in
+  if t.epoch = as_of_epoch then begin
+    if end_v > t.version then t.version <- end_v;
+    if kcv > t.kcv then t.kcv <- kcv
+  end;
+  wake_waiters t;
+  Future.return ()
+
+(* ---------- log pulling (§2.4.3) ---------- *)
+
+(* Only the k servers of Figure 2's per-tag replica set hold this tag's
+   payload; failing over to any other log server would return an empty
+   stream whose end-version still advances — silently skipping our own
+   mutations. Rotate within the replica set only. *)
+let preferred_log t =
+  match t.logs with
+  | [] -> None
+  | logs ->
+      let n = List.length logs in
+      let k = min t.ctx.Context.config.Config.log_replication n in
+      let replica = (t.id + (t.stale_pulls mod k)) mod n in
+      Some (snd (List.nth logs replica))
+
+(* Adopt a newer transaction-system generation. The rollback boundary is
+   the RV of the FIRST recovery after our current epoch (from the RV
+   history): later recoveries have higher RVs, under which our phantom
+   (semi-committed, since rolled back) window data could survive. When the
+   history has been trimmed past that entry, fall back to the always-safe
+   durable floor (the persistent store only ever holds known-committed
+   data). *)
+let adopt t ~epoch ~rv ~history ~logs =
+  if epoch > t.epoch then begin
+    let boundary =
+      List.fold_left
+        (fun acc (e, erv) -> if e > t.epoch && erv < acc then erv else acc)
+        rv history
+    in
+    let boundary =
+      if List.exists (fun (e, _) -> e = t.epoch + 1) history then boundary
+      else t.durable
+    in
+    let target = max boundary t.durable in
+    Trace.emit "ss_adopt_state"
+      [ ("ss", string_of_int t.id); ("epoch", string_of_int epoch);
+        ("target", Int64.to_string target) ];
+    t.epoch <- epoch;
+    t.logs <- logs;
+    if t.version > target then begin
+      let dropped = Window.rollback t.window ~after:target in
+      Trace.emit "ss_rollback"
+        [ ("ss", string_of_int t.id); ("rv", Int64.to_string target);
+          ("dropped", string_of_int dropped) ];
+      t.version <- target
+    end;
+    t.stale_pulls <- 0
+  end
+  else if epoch = t.epoch then t.logs <- logs
+
+(* When peeks keep failing, consult the coordinators for a newer
+   transaction-system generation (the fallback path behind Ss_recover). *)
+let refresh_from_coordinators t =
+  if t.refreshing then Engine.sleep 0.1
+  else begin
+  t.refreshing <- true;
+  Future.protect ~finally:(fun () -> t.refreshing <- false) @@ fun () ->
+  let reg =
+    Fdb_paxos.Register.create
+      (Context.paxos_transport t.ctx ~from:t.proc)
+      ~reg:"ts-state" ~proposer:(Context.proposer_id t.proc)
+  in
+  let* v = Fdb_paxos.Register.read_any reg in
+  (match Option.bind v Message.decode_coordinated_state with
+  | Some cs when cs.Message.cs_epoch > t.epoch ->
+      adopt t ~epoch:cs.Message.cs_epoch ~rv:cs.Message.cs_recovery_version
+        ~history:cs.Message.cs_rv_history ~logs:cs.Message.cs_logs
+  | _ -> ());
+  Future.return ()
+  end
+
+let pull_once t =
+  match preferred_log t with
+  | None -> refresh_from_coordinators t
+  | Some log_ep ->
+      let as_of_epoch = t.epoch in
+      Future.catch
+        (fun () ->
+          let* reply =
+            Context.rpc t.ctx ~timeout:1.0 ~from:t.proc log_ep
+              (Message.Log_peek { tag = t.id; from_version = Int64.add t.version 1L })
+          in
+          match reply with
+          | Message.Log_peek_reply { pk_entries; pk_end; pk_kcv } ->
+              t.stale_pulls <- 0;
+              apply_entries t ~as_of_epoch pk_entries pk_end pk_kcv
+          | _ -> Future.return ())
+        (function
+          | Error.Fdb Error.Wrong_epoch ->
+              (* The log server is locked: a recovery is in flight. *)
+              t.stale_pulls <- t.stale_pulls + 1;
+              refresh_from_coordinators t
+          | exn ->
+              Trace.emit "ss_pull_fail"
+                [ ("ss", string_of_int t.id); ("exn", Printexc.to_string exn) ];
+              t.stale_pulls <- t.stale_pulls + 1;
+              if t.stale_pulls > 3 then refresh_from_coordinators t
+              else Future.return ())
+
+let pull_loop t =
+  let rec loop () =
+    if not t.alive then Future.return ()
+    else
+      (* Buggify: a sluggish pull loop widens the lag/rollback windows. *)
+      let* () =
+        Engine.sleep
+          (Params.storage_peek_interval +. (Buggify.delay ~p:0.02 "ss_slow_peek" /. 5.0))
+      in
+      let* () = pull_once t in
+      loop ()
+  in
+  loop ()
+
+(* ---------- durability (§2.4.3: delayed, coalesced persistence) ---------- *)
+
+let make_durable t =
+  let window_versions =
+    Int64.of_float (t.ctx.Context.config.Config.mvcc_window *. Types.versions_per_second)
+  in
+  let target =
+    min t.kcv (Int64.sub t.version window_versions)
+  in
+  if target > t.durable then begin
+    let muts = Window.pop_through t.window target in
+    let marker = Mutation.Set (version_meta_key, Types.version_to_bytes target) in
+    let* () = Pstore.apply t.pstore (muts @ [ marker ]) in
+    let* () = Pstore.commit t.pstore in
+    t.durable <- target;
+    (* Tell the logs this data no longer needs them. *)
+    List.iter
+      (fun (_, ep) ->
+        Network.send t.ctx.Context.net ~from:t.proc ep
+          (Message.Log_pop { tag = t.id; up_to = target }))
+      t.logs;
+    Future.return ()
+  end
+  else Future.return ()
+
+let durable_loop t =
+  let rec loop () =
+    if not t.alive then Future.return ()
+    else
+      let* () = Engine.sleep Params.storage_durable_interval in
+      let* () = make_durable t in
+      loop ()
+  in
+  loop ()
+
+(* ---------- reads ---------- *)
+
+let wait_for_version t v =
+  if v <= t.version then Future.return true
+  else begin
+    let fut, promise = Future.make () in
+    t.waiters <- (v, promise) :: t.waiters;
+    Future.catch
+      (fun () -> Future.map (Engine.timeout Params.storage_read_wait fut) (fun () -> true))
+      (function Engine.Timed_out -> Future.return false | e -> raise e)
+  end
+
+let read_at t version key =
+  match Window.read t.window version key with
+  | Window.Value v -> Some v
+  | Window.Cleared -> None
+  | Window.Unknown -> Pstore.get t.pstore key
+
+(* Merge the persistent image and the window overlay for a range read.
+   Forward scan with chunked persistent reads; candidate keys come from
+   both sources, visibility is decided per key at [version]. *)
+let range_read t version ~from ~until ~limit =
+  let limit = min limit 10_000_000 in
+  let chunk_size = limit + 16 in
+  let out = ref [] in
+  let count = ref 0 in
+  let cursor = ref from in
+  let continue = ref true in
+  while !continue && !count < limit && !cursor < until do
+    let chunk = Pstore.get_range t.pstore ~limit:chunk_size ~from:!cursor ~until () in
+    (* This pass covers [cursor, pass_until): either the whole remaining
+       range (chunk exhausted the store) or up to the chunk's last key. *)
+    let pass_until =
+      if List.length chunk < chunk_size then until
+      else Types.next_key (fst (List.nth chunk (List.length chunk - 1)))
+    in
+    let window_keys =
+      Window.keys_in_range t.window ~from:!cursor ~until:pass_until
+      |> List.filter (fun k -> not (List.mem_assoc k chunk))
+    in
+    let candidates = List.sort_uniq compare (List.map fst chunk @ window_keys) in
+    List.iter
+      (fun k ->
+        if !count < limit then
+          match read_at t version k with
+          | Some v ->
+              out := (k, v) :: !out;
+              incr count
+          | None -> ())
+      candidates;
+    cursor := pass_until;
+    if pass_until >= until then continue := false
+  done;
+  List.rev !out
+
+let range_read_reverse t version ~from ~until ~limit =
+  let out = ref [] in
+  let count = ref 0 in
+  let cursor = ref until in
+  let window_keys =
+    Window.keys_in_range t.window ~from ~until |> List.sort compare |> List.rev
+  in
+  let wk = ref window_keys in
+  let continue = ref true in
+  while !continue && !count < limit do
+    let p = Pstore.prev_entry t.pstore ~before:!cursor in
+    let pk = match p with Some (k, _) when k >= from -> Some k | _ -> None in
+    let wkey = match !wk with k :: _ when k < !cursor -> Some k | _ -> None in
+    match (pk, wkey) with
+    | None, None -> continue := false
+    | _ ->
+        let k =
+          match (pk, wkey) with
+          | Some a, Some b -> if a > b then a else b
+          | Some a, None -> a
+          | None, Some b -> b
+          | None, None -> assert false
+        in
+        (match read_at t version k with
+        | Some v ->
+            out := (k, v) :: !out;
+            incr count
+        | None -> ());
+        cursor := k;
+        wk := List.filter (fun x -> x < k) !wk
+  done;
+  List.rev !out
+
+(* ---------- RPC surface ---------- *)
+
+(* Generation gate: a read version minted by a newer transaction-system
+   generation must not be served until we adopt that generation (rolling
+   back any semi-committed suffix) — otherwise a partitioned replica could
+   serve stale or phantom data. *)
+let ensure_epoch t rv_epoch =
+  if rv_epoch <= t.epoch then Future.return true
+  else
+    let rec wait tries =
+      if tries = 0 then Future.return (rv_epoch <= t.epoch)
+      else
+        let* () = refresh_from_coordinators t in
+        if rv_epoch <= t.epoch then Future.return true
+        else
+          let* () = Engine.sleep 0.05 in
+          wait (tries - 1)
+    in
+    wait 5
+
+(* Load shedding: a read queued behind more CPU work than the client's
+   timeout would burn a core for an answer nobody is waiting for — reject
+   it cheaply instead (the spiral breaker real storage servers have). *)
+let overloaded t =
+  t.proc.Process.cpu_busy_until -. Engine.now () > Params.client_read_timeout
+
+let handle t (msg : Message.t) : Message.t Future.t =
+  match msg with
+  | Message.Seq_ping -> Future.return Message.Ok_reply
+  | Message.Storage_get { key; version; rv_epoch } ->
+      if overloaded t then Future.return (Message.Reject Error.Process_behind)
+      else
+      let* () = Engine.cpu t.proc (Params.cpu Params.storage_per_point_read) in
+      let* current = ensure_epoch t rv_epoch in
+      let* ok = if current then wait_for_version t version else Future.return false in
+      if not (current && ok) then Future.return (Message.Reject Error.Future_version)
+      else if version < Window.oldest t.window && Window.oldest t.window > 0L then begin
+        Trace.emit "ss_too_old"
+          [ ("ss", string_of_int t.id); ("rv", Int64.to_string version);
+            ("oldest", Int64.to_string (Window.oldest t.window));
+            ("version", Int64.to_string t.version);
+            ("kcv", Int64.to_string t.kcv);
+            ("durable", Int64.to_string t.durable) ];
+        Future.return (Message.Reject Error.Transaction_too_old)
+      end
+      else if not (in_shards t key) then
+        Future.return (Message.Reject (Error.Internal "wrong shard"))
+      else Future.return (Message.Storage_get_reply (read_at t version key))
+  | Message.Storage_get_range { gr_from; gr_until; gr_version; gr_limit; gr_reverse; gr_epoch }
+    ->
+      if overloaded t then Future.return (Message.Reject Error.Process_behind)
+      else
+      let* current = ensure_epoch t gr_epoch in
+      let* ok = if current then wait_for_version t gr_version else Future.return false in
+      if not (current && ok) then Future.return (Message.Reject Error.Future_version)
+      else if gr_version < Window.oldest t.window && Window.oldest t.window > 0L then
+        Future.return (Message.Reject Error.Transaction_too_old)
+      else begin
+        let results =
+          if gr_reverse then
+            range_read_reverse t gr_version ~from:gr_from ~until:gr_until ~limit:gr_limit
+          else range_read t gr_version ~from:gr_from ~until:gr_until ~limit:gr_limit
+        in
+        let* () =
+          Engine.cpu t.proc
+            (Params.cpu
+               (Params.storage_per_point_read
+               +. (Params.storage_per_range_key *. float_of_int (List.length results))))
+        in
+        Future.return (Message.Storage_get_range_reply results)
+      end
+  | Message.Ss_recover { sr_epoch; sr_rv; sr_history; sr_logs } ->
+      adopt t ~epoch:sr_epoch ~rv:sr_rv ~history:sr_history ~logs:sr_logs;
+      Future.return (Message.Ss_recover_ack { version = t.version })
+  | Message.Ss_stats_req ->
+      let busy = t.proc.Process.cpu_busy_until -. Engine.now () in
+      Future.return
+        (Message.Ss_stats
+           {
+             ss_version = t.version;
+             ss_durable = t.durable;
+             ss_window_events = Window.event_count t.window;
+             ss_lag = lag_seconds t;
+             ss_busy = (if busy > 0.0 then busy else 0.0);
+           })
+  | _ -> Future.return (Message.Reject (Error.Internal "storage: unexpected message"))
+
+let rec create ctx proc ~id ~disk =
+  let* pstore = Pstore.recover ~disk ~prefix:(Printf.sprintf "ss%d" id) () in
+  let start_version =
+    match Pstore.get pstore version_meta_key with
+    | Some bytes -> Types.version_of_bytes bytes
+    | None -> 0L
+  in
+  let t =
+    {
+      ctx;
+      proc;
+      ep = ctx.Context.storage_eps.(id);
+      id;
+      disk;
+      shards = Shard_map.shards_of_storage ctx.Context.shard_map id;
+      pstore;
+      window = Window.create ~initial_version:start_version ();
+      version = start_version;
+      durable = start_version;
+      kcv = start_version;
+      epoch = 0;
+      logs = [];
+      waiters = [];
+      stale_pulls = 0;
+      refreshing = false;
+      alive = true;
+    }
+  in
+  Disk.attach disk proc;
+  Network.register ctx.Context.net t.ep proc (handle t);
+  Engine.spawn ~process:proc "ss-pull" (fun () -> pull_loop t);
+  Engine.spawn ~process:proc "ss-durable" (fun () -> durable_loop t);
+  proc.Process.boot <-
+    (fun () ->
+      Engine.spawn ~process:proc "ss-reboot" (fun () ->
+          let* _t = create ctx proc ~id ~disk in
+          Future.return ()));
+  Future.return t

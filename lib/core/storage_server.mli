@@ -1,0 +1,29 @@
+(** The StorageServer: MVCC reads over an in-memory version window backed by
+    an unversioned persistent store (paper §2.3.2, §2.4.3, §2.4.4).
+
+    A pull loop continuously peeks the tag's mutation stream from the
+    current LogServers (including not-yet-durable entries, for low read
+    lag) and applies it in LSN order, materializing atomic operations. A
+    durability loop graduates mutations that have both left the MVCC window
+    and become known-committed into the persistent store, then pops them
+    from the logs. Reads wait briefly for a future version and fail with
+    [Transaction_too_old] below the window. On recovery the window suffix
+    past RV is discarded; the persistent store never needs rollback because
+    it only ever holds known-committed data. *)
+
+type t
+
+val create :
+  Context.t -> Fdb_sim.Process.t -> id:int -> disk:Fdb_sim.Disk.t -> t Fdb_sim.Future.t
+(** Open (recovering from disk if present) storage server [id], register
+    its well-known endpoint, start the pull/durability loops, and install
+    the boot thunk that re-creates everything after a crash. *)
+
+val version : t -> Types.version
+(** Latest applied version. *)
+
+val durable_version : t -> Types.version
+val lag_seconds : t -> float
+(** How far the applied version trails the current time-version. *)
+
+val window_events : t -> int

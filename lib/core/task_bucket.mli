@@ -1,0 +1,41 @@
+(** TaskBucket (paper §6.4): the pattern for work that cannot fit in one
+    5-second transaction — "one transaction creates a number of jobs and
+    each job can be further divided or executed in a transaction".
+
+    A bucket is a durable queue of tasks in the key space. Adding tasks is
+    transactional (atomically with the caller's own writes); executors
+    claim one task per transaction, process it, and in the SAME transaction
+    remove it and optionally add follow-up tasks — so a crash between
+    transactions never loses or duplicates work. Claims use OCC: two
+    executors racing for the same task conflict and one retries onto the
+    next. The paper's continuous backup splits a full-keyspace scan into
+    range-sized tasks exactly this way (see [examples] and the tests). *)
+
+type t
+
+val create : prefix:string -> t
+(** A bucket living under [prefix] in the key space. *)
+
+val add : Client.tx -> t -> payload:string -> unit
+(** Enqueue a task within the caller's transaction (versionstamp-keyed:
+    conflict-free appends, commit-ordered). *)
+
+val run_one :
+  Client.db ->
+  t ->
+  f:(Client.tx -> string -> string list Fdb_sim.Future.t) ->
+  bool Fdb_sim.Future.t
+(** Claim the oldest task, run [f tx payload] inside the claiming
+    transaction, enqueue whatever follow-up payloads [f] returns, and
+    commit it all atomically. Returns [false] when the bucket is empty.
+    [f] must keep its work within transaction limits — that is the whole
+    point: it subdivides by returning follow-ups. *)
+
+val drain :
+  Client.db ->
+  t ->
+  f:(Client.tx -> string -> string list Fdb_sim.Future.t) ->
+  int Fdb_sim.Future.t
+(** Run tasks until the bucket is empty; returns how many ran. *)
+
+val is_empty : Client.tx -> t -> bool Fdb_sim.Future.t

@@ -1,0 +1,243 @@
+type element =
+  | Null
+  | Bytes of string
+  | String of string
+  | Int of int64
+  | Float of float
+  | Bool of bool
+  | Nested of element list
+
+type t = element list
+
+(* Type codes, in the spec's order (which defines cross-type ordering). *)
+let code_null = '\x00'
+let code_bytes = '\x01'
+let code_string = '\x02'
+let code_nested = '\x05'
+let code_int_zero = 0x14 (* 0x0c..0x1c: negative..positive by length *)
+let code_float = '\x21'
+let code_false = '\x26'
+let code_true = '\x27'
+
+(* ---------- pack ---------- *)
+
+let escape_nuls buf s =
+  String.iter
+    (fun c ->
+      Buffer.add_char buf c;
+      if c = '\x00' then Buffer.add_char buf '\xff')
+    s;
+  Buffer.add_char buf '\x00'
+
+let int_byte_length v =
+  (* minimal big-endian byte length of a non-negative int64 *)
+  let rec go n acc = if n = 0L then max acc 1 else go (Int64.shift_right_logical n 8) (acc + 1) in
+  if v = 0L then 0 else go v 0
+
+let add_be_bytes buf v len =
+  for i = len - 1 downto 0 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+  done
+
+let float_order_bits f =
+  (* IEEE-754 with the standard trick: flip the sign bit of non-negatives,
+     flip all bits of negatives, so byte order equals numeric order. *)
+  let bits = Int64.bits_of_float f in
+  if Int64.compare bits 0L >= 0 then Int64.logor bits Int64.min_int
+  else Int64.lognot bits
+
+let rec pack_element buf = function
+  | Null -> Buffer.add_char buf code_null
+  | Bytes s ->
+      Buffer.add_char buf code_bytes;
+      escape_nuls buf s
+  | String s ->
+      Buffer.add_char buf code_string;
+      escape_nuls buf s
+  | Int v ->
+      if Int64.compare v 0L >= 0 then begin
+        let len = int_byte_length v in
+        Buffer.add_char buf (Char.chr (code_int_zero + len));
+        add_be_bytes buf v len
+      end
+      else begin
+        (* negative: one's-complement of |v|, shorter-is-smaller flipped *)
+        let abs = Int64.neg v in
+        let len = int_byte_length abs in
+        Buffer.add_char buf (Char.chr (code_int_zero - len));
+        (* stored as (256^len - 1) - abs, big-endian *)
+        let ceiling =
+          if len = 8 then -1L (* 2^64-1 as unsigned *)
+          else Int64.sub (Int64.shift_left 1L (8 * len)) 1L
+        in
+        add_be_bytes buf (Int64.sub ceiling abs) len
+      end
+  | Float f ->
+      Buffer.add_char buf code_float;
+      add_be_bytes buf (float_order_bits f) 8
+  | Bool false -> Buffer.add_char buf code_false
+  | Bool true -> Buffer.add_char buf code_true
+  | Nested elems ->
+      Buffer.add_char buf code_nested;
+      List.iter
+        (fun e ->
+          match e with
+          | Null ->
+              (* escape nested nulls so the terminator stays unambiguous *)
+              Buffer.add_char buf '\x00';
+              Buffer.add_char buf '\xff'
+          | _ -> pack_element buf e)
+        elems;
+      Buffer.add_char buf '\x00'
+
+let pack t =
+  let buf = Buffer.create 64 in
+  List.iter (pack_element buf) t;
+  Buffer.contents buf
+
+(* ---------- unpack ---------- *)
+
+exception Malformed of string
+
+let unpack s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let byte () =
+    if !pos >= n then raise (Malformed "truncated");
+    let c = s.[!pos] in
+    incr pos;
+    c
+  in
+  let read_escaped () =
+    let buf = Buffer.create 16 in
+    let rec go () =
+      let c = byte () in
+      if c = '\x00' then
+        if !pos < n && s.[!pos] = '\xff' then begin
+          incr pos;
+          Buffer.add_char buf '\x00';
+          go ()
+        end
+        else Buffer.contents buf
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let read_be len =
+    let v = ref 0L in
+    for _ = 1 to len do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (byte ())))
+    done;
+    !v
+  in
+  let rec read_element ~nested code =
+    match code with
+    | c when c = code_bytes -> Bytes (read_escaped ())
+    | c when c = code_string -> String (read_escaped ())
+    | c when c = code_float ->
+        let bits = read_be 8 in
+        let bits =
+          if Int64.compare bits 0L < 0 then Int64.logand bits Int64.max_int
+          else Int64.lognot bits
+        in
+        Float (Int64.float_of_bits bits)
+    | c when c = code_false -> Bool false
+    | c when c = code_true -> Bool true
+    | c when c = code_nested ->
+        let rec elems acc =
+          let c = byte () in
+          if c = '\x00' then
+            if !pos < n && s.[!pos] = '\xff' then begin
+              incr pos;
+              elems (Null :: acc)
+            end
+            else Nested (List.rev acc)
+          else elems (read_element ~nested:true c :: acc)
+        in
+        elems []
+    | c ->
+        let ci = Char.code c in
+        if ci = Char.code code_null && not nested then Null
+        else if ci > code_int_zero && ci <= code_int_zero + 8 then begin
+          let len = ci - code_int_zero in
+          Int (read_be len)
+        end
+        else if ci < code_int_zero && ci >= code_int_zero - 8 then begin
+          let len = code_int_zero - ci in
+          let stored = read_be len in
+          let ceiling =
+            if len = 8 then -1L
+            else Int64.sub (Int64.shift_left 1L (8 * len)) 1L
+          in
+          Int (Int64.neg (Int64.sub ceiling stored))
+        end
+        else if ci = code_int_zero then Int 0L
+        else raise (Malformed (Printf.sprintf "unknown type code 0x%02x" ci))
+  in
+  let rec top acc =
+    if !pos >= n then List.rev acc
+    else begin
+      let c = byte () in
+      if c = code_null then top (Null :: acc)
+      else top (read_element ~nested:false c :: acc)
+    end
+  in
+  try top [] with Malformed m -> invalid_arg ("Tuple.unpack: " ^ m)
+
+(* ---------- natural comparison (must agree with pack order) ---------- *)
+
+let type_rank = function
+  | Null -> 0
+  | Bytes _ -> 1
+  | String _ -> 2
+  | Nested _ -> 3
+  | Int _ -> 4
+  | Float _ -> 5
+  | Bool _ -> 6
+
+let rec compare_element a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bytes x, Bytes y | String x, String y -> compare x y
+  | Int x, Int y -> Int64.compare x y
+  | Float x, Float y -> Int64.unsigned_compare (float_order_bits x) (float_order_bits y)
+  | Bool x, Bool y -> compare x y
+  | Nested x, Nested y -> compare_elements x y
+  | _ -> compare (type_rank a) (type_rank b)
+
+and compare_elements a b =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | x :: xs, y :: ys ->
+      let c = compare_element x y in
+      if c <> 0 then c else compare_elements xs ys
+
+let range t =
+  let p = pack t in
+  (p ^ "\x00", p ^ "\xff")
+
+let subspace prefix t = pack prefix ^ pack t
+
+let rec pp_element fmt = function
+  | Null -> Format.pp_print_string fmt "null"
+  | Bytes s -> Format.fprintf fmt "b%S" s
+  | String s -> Format.fprintf fmt "%S" s
+  | Int v -> Format.fprintf fmt "%Ld" v
+  | Float f -> Format.fprintf fmt "%g" f
+  | Bool b -> Format.pp_print_bool fmt b
+  | Nested l -> pp fmt l
+
+and pp fmt t =
+  Format.fprintf fmt "(";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Format.fprintf fmt ", ";
+      pp_element fmt e)
+    t;
+  Format.fprintf fmt ")"

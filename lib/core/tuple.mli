@@ -1,0 +1,40 @@
+(** The tuple layer: FDB's canonical order-preserving encoding.
+
+    The paper's "foundational building blocks" (§1) include the tuple
+    encoding every layer builds on (the Record Layer [28], directories,
+    indexes): typed tuples serialize to byte strings whose lexicographic
+    order equals the natural order of the tuples. This implements the
+    core of FDB's tuple spec: null, byte strings, unicode strings,
+    variable-length signed integers, floats, booleans, and nested tuples. *)
+
+type element =
+  | Null
+  | Bytes of string
+  | String of string  (** UTF-8 text (escaped like byte strings) *)
+  | Int of int64  (** order-preserving variable-length encoding *)
+  | Float of float  (** IEEE-754 with sign-flip trick for ordering *)
+  | Bool of bool
+  | Nested of element list
+
+type t = element list
+
+val pack : t -> string
+(** Serialize; for all tuples [a], [b]: [compare a b] agrees with
+    [String.compare (pack a) (pack b)] (the ordering contract). *)
+
+val unpack : string -> t
+(** Inverse of {!pack}. Raises [Invalid_argument] on malformed input. *)
+
+val compare_elements : t -> t -> int
+(** Natural order on tuples: element-wise, by type code then value —
+    exactly the order {!pack} preserves. *)
+
+val range : t -> string * string
+(** [range t] is the key range containing every tuple that extends [t]
+    (the standard "subspace range" used for prefix scans). *)
+
+val subspace : t -> t -> string
+(** [subspace prefix t] packs [t] inside [prefix] (concatenation — sound
+    because the encoding is prefix-order-compatible). *)
+
+val pp : Format.formatter -> t -> unit

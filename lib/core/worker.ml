@@ -1,0 +1,107 @@
+open Fdb_sim
+
+type host = { h_machine : Process.machine; h_disks : Disk.t array }
+
+type t = {
+  ctx : Context.t;
+  host : host;
+  machine_id : int;
+  ep : int;
+  mutable proc : Process.t;
+  mutable cc : Cluster_controller.t option;
+}
+
+let is_cluster_controller t = t.cc <> None
+
+let role_process t name = Process.create ~name t.host.h_machine
+
+(* Each LogServer gets the machine's dedicated log disk (disk 0), like the
+   paper's one-SSD-per-LogServer binding. *)
+let log_disk t = t.host.h_disks.(0)
+
+let handle t (msg : Message.t) : Message.t Future.t =
+  match msg with
+  (* Buggify: refuse a recruitment now and then so recovery's walk-on
+     placement path gets exercised. *)
+  | Message.Recruit_log _ | Message.Recruit_proxy _ | Message.Recruit_resolver _
+    when Buggify.on ~p:0.1 "worker_refuse_recruit" ->
+      Future.return (Message.Reject (Error.Internal "buggify: recruit refused"))
+  | Message.Worker_ping -> Future.return Message.Worker_pong
+  | Message.Seq_ping -> Future.return Message.Ok_reply
+  | Message.Recruit_log { rl_epoch; rl_id; rl_start_lsn } ->
+      let proc = role_process t (Printf.sprintf "tlog-%d.%d" rl_epoch rl_id) in
+      let _, ep =
+        Log_server.create t.ctx proc ~disk:(log_disk t) ~epoch:rl_epoch ~id:rl_id
+          ~start_lsn:rl_start_lsn
+      in
+      Future.return (Message.Recruited { endpoint = ep })
+  | Message.Recruit_resolver { rr_epoch; rr_range; rr_start_lsn } ->
+      let proc = role_process t (Printf.sprintf "resolver-%d" rr_epoch) in
+      let _, ep =
+        Resolver.create t.ctx proc ~epoch:rr_epoch ~range:rr_range
+          ~start_lsn:rr_start_lsn
+      in
+      Future.return (Message.Recruited { endpoint = ep })
+  | Message.Recruit_proxy
+      { rp_epoch; rp_sequencer; rp_resolvers; rp_logs; rp_ratekeeper; rp_recovery_version }
+    ->
+      let proc = role_process t (Printf.sprintf "proxy-%d" rp_epoch) in
+      let _, ep =
+        Proxy.create t.ctx proc ~epoch:rp_epoch ~sequencer:rp_sequencer
+          ~resolvers:rp_resolvers ~logs:rp_logs ~ratekeeper:rp_ratekeeper
+          ~recovery_version:rp_recovery_version
+      in
+      Future.return (Message.Recruited { endpoint = ep })
+  | Message.Recruit_sequencer { rs_ratekeeper } ->
+      let proc = role_process t "sequencer" in
+      let _, ep = Sequencer.create t.ctx proc ~ratekeeper:rs_ratekeeper in
+      Future.return (Message.Recruited { endpoint = ep })
+  | Message.Recruit_ratekeeper ->
+      let proc = role_process t "ratekeeper" in
+      let _, ep = Ratekeeper.create t.ctx proc in
+      Future.return (Message.Recruited { endpoint = ep })
+  | Message.Recruit_data_distributor ->
+      let proc = role_process t "data-distributor" in
+      let _, ep = Data_distributor.create t.ctx proc in
+      Future.return (Message.Recruited { endpoint = ep })
+  | Message.Cc_get_state -> (
+      match t.cc with
+      | Some cc -> Future.return (Cluster_controller.state_reply cc)
+      | None -> Future.return (Message.Reject (Error.Internal "not the cluster controller")))
+  | _ -> Future.return (Message.Reject (Error.Internal "worker: unexpected message"))
+
+let start_election t proc =
+  if t.machine_id < t.ctx.Context.config.Config.cc_candidates then begin
+    let reg =
+      Fdb_paxos.Register.create
+        (Context.paxos_transport t.ctx ~from:proc)
+        ~reg:"cc-leader" ~proposer:(Context.proposer_id proc)
+    in
+    ignore
+      (Fdb_paxos.Election.start reg
+         ~self:(string_of_int t.machine_id)
+         ~lease:Params.lease_duration
+         ~on_elected:(fun () -> t.cc <- Some (Cluster_controller.start t.ctx proc))
+         ~on_deposed:(fun () ->
+           match t.cc with
+           | Some cc ->
+               Cluster_controller.stop cc;
+               t.cc <- None
+           | None -> ())
+         ())
+  end
+
+let boot t () =
+  let proc = t.proc in
+  Network.register t.ctx.Context.net t.ep proc (handle t);
+  t.cc <- None;
+  start_election t proc
+
+let create ctx host ~machine_id =
+  let proc = Process.create ~name:(Printf.sprintf "worker-%d" machine_id) host.h_machine in
+  let t =
+    { ctx; host; machine_id; ep = ctx.Context.worker_eps.(machine_id); proc; cc = None }
+  in
+  proc.Process.boot <- (fun () -> boot t ());
+  Engine.schedule ~process:proc (fun () -> boot t ());
+  t

@@ -1,0 +1,145 @@
+open Fdb_sim
+open Future.Syntax
+module KeyMap = Map.Make (String)
+
+type t = {
+  disk : Disk.t;
+  wal_file : string;
+  snap_file : string;
+  checkpoint_every : int;
+  mutable map : string KeyMap.t;
+  mutable seq : int;
+  mutable wal_len : int;
+  mutable bytes : int;
+}
+
+type wal_record = { wr_seq : int; wr_mut : Mutation.t }
+type snapshot = { sn_seq : int; sn_entries : (string * string) list }
+
+let encode_wal r : string = Marshal.to_string (r : wal_record) []
+let decode_wal (s : string) : wal_record option =
+  match (Marshal.from_string s 0 : wal_record) with
+  | r -> Some r
+  | exception _ -> None
+
+let encode_snap s : string = Marshal.to_string (s : snapshot) []
+let decode_snap (s : string) : snapshot option =
+  match (Marshal.from_string s 0 : snapshot) with
+  | sn -> Some sn
+  | exception _ -> None
+
+let apply_mutation_to_map map (m : Mutation.t) =
+  match m with
+  | Mutation.Set (k, v) -> KeyMap.add k v map
+  | Mutation.Clear k -> KeyMap.remove k map
+  | Mutation.Clear_range (a, b) ->
+      KeyMap.filter (fun k _ -> k < a || k >= b) map
+  | Mutation.Atomic _ -> invalid_arg "Persistent_store: unmaterialized atomic"
+
+let recompute_bytes map =
+  KeyMap.fold (fun k v acc -> acc + String.length k + String.length v) map 0
+
+let recover ~disk ~prefix ?(checkpoint_every = 5000) () =
+  let wal_file = prefix ^ ".wal" and snap_file = prefix ^ ".snap" in
+  let* snaps = Disk.read_all disk snap_file in
+  let base =
+    List.fold_left
+      (fun acc rec_ ->
+        match decode_snap rec_ with
+        | Some sn -> (
+            match acc with
+            | Some best when best.sn_seq >= sn.sn_seq -> acc
+            | _ -> Some sn)
+        | None -> acc)
+      None snaps
+  in
+  let map0, seq0 =
+    match base with
+    | Some sn ->
+        (List.fold_left (fun m (k, v) -> KeyMap.add k v m) KeyMap.empty sn.sn_entries,
+         sn.sn_seq)
+    | None -> (KeyMap.empty, 0)
+  in
+  let* wal = Disk.read_all disk wal_file in
+  (* Replay the contiguous suffix: skip records covered by the snapshot,
+     stop at the first gap (torn tail after a buggified crash). *)
+  let map, seq =
+    List.fold_left
+      (fun (map, seq) rec_ ->
+        match decode_wal rec_ with
+        | Some r when r.wr_seq <= seq -> (map, seq)
+        | Some r when r.wr_seq = seq + 1 -> (apply_mutation_to_map map r.wr_mut, r.wr_seq)
+        | Some _ | None -> (map, seq) (* gap or corruption: ignore the rest *))
+      (map0, seq0) wal
+  in
+  Future.return
+    {
+      disk;
+      wal_file;
+      snap_file;
+      checkpoint_every;
+      map;
+      seq;
+      wal_len = seq - seq0;
+      bytes = recompute_bytes map;
+    }
+
+let get t key = KeyMap.find_opt key t.map
+
+let get_range t ?(limit = max_int) ~from ~until () =
+  let out = ref [] in
+  let n = ref 0 in
+  (try
+     KeyMap.to_seq_from from t.map
+     |> Seq.iter (fun (k, v) ->
+            if k >= until || !n >= limit then raise Exit;
+            out := (k, v) :: !out;
+            incr n)
+   with Exit -> ());
+  List.rev !out
+
+let prev_entry t ~before =
+  KeyMap.find_last_opt (fun k -> k < before) t.map
+
+let apply t mutations =
+  let futures =
+    List.map
+      (fun m ->
+        t.seq <- t.seq + 1;
+        t.wal_len <- t.wal_len + 1;
+        (match m with
+        | Mutation.Set (k, v) ->
+            (match KeyMap.find_opt k t.map with
+            | Some old -> t.bytes <- t.bytes - String.length k - String.length old
+            | None -> ());
+            t.bytes <- t.bytes + String.length k + String.length v
+        | Mutation.Clear k -> (
+            match KeyMap.find_opt k t.map with
+            | Some old -> t.bytes <- t.bytes - String.length k - String.length old
+            | None -> ())
+        | Mutation.Clear_range (a, b) ->
+            KeyMap.to_seq_from a t.map
+            |> Seq.iter (fun (k, v) ->
+                   if k < b then t.bytes <- t.bytes - String.length k - String.length v)
+        | Mutation.Atomic _ -> invalid_arg "Persistent_store: unmaterialized atomic");
+        t.map <- apply_mutation_to_map t.map m;
+        Disk.append t.disk t.wal_file (encode_wal { wr_seq = t.seq; wr_mut = m }))
+      mutations
+  in
+  Future.all_unit futures
+
+let checkpoint t =
+  let snapshot = { sn_seq = t.seq; sn_entries = KeyMap.bindings t.map } in
+  let* () = Disk.append t.disk t.snap_file (encode_snap snapshot) in
+  let* () = Disk.sync t.disk t.snap_file in
+  let* () = Disk.delete t.disk t.wal_file in
+  t.wal_len <- 0;
+  Future.return ()
+
+let commit t =
+  let* () = Disk.sync t.disk t.wal_file in
+  if t.wal_len >= t.checkpoint_every then checkpoint t else Future.return ()
+
+let last_seq t = t.seq
+let entry_count t = KeyMap.cardinal t.map
+let byte_size t = t.bytes

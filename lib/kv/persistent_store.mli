@@ -1,0 +1,41 @@
+(** The unversioned durable store under each StorageServer — our stand-in
+    for the paper's modified SQLite B-tree.
+
+    An ordered in-memory map backed by a write-ahead log on a simulated
+    {!Fdb_sim.Disk}: mutations append sequenced WAL records; {!commit}
+    syncs them; a checkpoint (full snapshot record) is taken when the WAL
+    grows long, after which the WAL is truncated. {!recover} rebuilds the
+    map from the newest durable snapshot plus the contiguous WAL suffix —
+    torn tails (buggified crashes) are detected via sequence-number gaps
+    and discarded, so recovery never surfaces unsynced data as durable. *)
+
+type t
+
+val recover :
+  disk:Fdb_sim.Disk.t -> prefix:string -> ?checkpoint_every:int -> unit -> t Fdb_sim.Future.t
+(** Open (creating if absent) the store persisted under [prefix] on [disk].
+    [checkpoint_every] is the WAL length that triggers a snapshot
+    (default 5000 records). *)
+
+val get : t -> string -> string option
+(** Point read from the in-memory image (the B-tree cache). *)
+
+val get_range : t -> ?limit:int -> from:string -> until:string -> unit -> (string * string) list
+(** Ascending entries with [from <= key < until], at most [limit]. *)
+
+val prev_entry : t -> before:string -> (string * string) option
+(** Greatest entry with key < [before] (reverse iteration support). *)
+
+val apply : t -> Mutation.t list -> unit Fdb_sim.Future.t
+(** Apply a batch in order: updates the image and appends WAL records.
+    Not durable until {!commit}. [Atomic] mutations are rejected. *)
+
+val commit : t -> unit Fdb_sim.Future.t
+(** Sync the WAL (and take a checkpoint if it is due). *)
+
+val last_seq : t -> int
+(** Sequence number of the newest applied mutation (monotonic). *)
+
+val entry_count : t -> int
+val byte_size : t -> int
+(** Approximate logical size (sum of key+value lengths). *)

@@ -1,0 +1,55 @@
+type t = { sl : int64 Skiplist.t; mutable oldest : int64 }
+
+let create ~rng () =
+  let sl = Skiplist.create ~rng () in
+  Skiplist.insert sl "" 0L;
+  { sl; oldest = 0L }
+
+let covering_version t key =
+  match Skiplist.find_less_equal t.sl key with
+  | Some (_, v) -> v
+  | None -> 0L (* unreachable: root entry always present *)
+
+let note_write t ~from ~until version =
+  if from < until then begin
+    (* Split at [until] first so the tail keeps its old version, then at
+       [from], then raise everything in between. *)
+    (match Skiplist.find t.sl until with
+    | Some _ -> ()
+    | None -> Skiplist.insert t.sl until (covering_version t until));
+    (* Raising [from..until) to [version] subsumes interior splits: drop
+       interior entries and write a single one at [from]. *)
+    let prev = covering_version t from in
+    ignore (Skiplist.remove_range t.sl ~from ~until);
+    Skiplist.insert t.sl from (if version > prev then version else prev)
+  end
+
+let max_version t ~from ~until =
+  if from >= until then 0L
+  else begin
+    let best = ref (covering_version t from) in
+    Skiplist.iter_range t.sl ~from ~until (fun _ v -> if v > !best then best := v);
+    !best
+  end
+
+let expire t ~before =
+  if before > t.oldest then begin
+    t.oldest <- before;
+    (* Merge runs of consecutive entries that are all below the floor: they
+       are indistinguishable to any admissible (read_version >= floor)
+       transaction. *)
+    let entries = Skiplist.to_list t.sl in
+    let rec walk prev_old = function
+      | [] -> ()
+      | (k, v) :: rest ->
+          let old = v < before in
+          if old && prev_old && k <> "" then ignore (Skiplist.remove t.sl k);
+          walk old rest
+    in
+    match entries with
+    | [] -> ()
+    | (_, v0) :: rest -> walk (v0 < before) rest
+  end
+
+let oldest t = t.oldest
+let entry_count t = Skiplist.length t.sl

@@ -1,0 +1,156 @@
+module Rng = Fdb_util.Det_rng
+
+(* Classic skiplist with a sentinel head node of maximal height. Each node
+   carries its forward pointers as an array; level i links skip ~2^i nodes. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a option; (* None only for the head sentinel *)
+  forward : 'a node option array;
+}
+
+type 'a t = {
+  rng : Rng.t;
+  max_level : int;
+  head : 'a node;
+  mutable level : int; (* highest level currently in use *)
+  mutable length : int;
+}
+
+let create ?(max_level = 24) ~rng () =
+  {
+    rng;
+    max_level;
+    head = { key = ""; value = None; forward = Array.make max_level None };
+    level = 1;
+    length = 0;
+  }
+
+let length t = t.length
+
+let random_level t =
+  let lvl = ref 1 in
+  while !lvl < t.max_level && Rng.bool t.rng do
+    incr lvl
+  done;
+  !lvl
+
+(* Walk down from the top level, returning the rightmost node < key at
+   level 0, recording the predecessor at each level in [update]. *)
+let find_predecessors t key update =
+  let x = ref t.head in
+  for i = t.level - 1 downto 0 do
+    let continue = ref true in
+    while !continue do
+      match !x.forward.(i) with
+      | Some next when next.key < key -> x := next
+      | _ -> continue := false
+    done;
+    match update with Some u -> u.(i) <- !x | None -> ()
+  done;
+  !x
+
+let find t key =
+  let pred = find_predecessors t key None in
+  match pred.forward.(0) with
+  | Some n when n.key = key -> n.value
+  | _ -> None
+
+let find_less_equal t key =
+  let pred = find_predecessors t key None in
+  match pred.forward.(0) with
+  | Some n when n.key = key -> (
+      match n.value with Some v -> Some (n.key, v) | None -> None)
+  | _ -> (
+      (* pred is the greatest node with key < probe *)
+      match pred.value with Some v -> Some (pred.key, v) | None -> None)
+
+let insert t key value =
+  let update = Array.make t.max_level t.head in
+  let pred = find_predecessors t key (Some update) in
+  match pred.forward.(0) with
+  | Some n when n.key = key -> n.value <- Some value
+  | _ ->
+      let lvl = random_level t in
+      if lvl > t.level then begin
+        for i = t.level to lvl - 1 do
+          update.(i) <- t.head
+        done;
+        t.level <- lvl
+      end;
+      let node = { key; value = Some value; forward = Array.make lvl None } in
+      for i = 0 to lvl - 1 do
+        node.forward.(i) <- update.(i).forward.(i);
+        update.(i).forward.(i) <- Some node
+      done;
+      t.length <- t.length + 1
+
+let unlink t update (node : 'a node) =
+  for i = 0 to Array.length node.forward - 1 do
+    (match update.(i).forward.(i) with
+    | Some n when n == node -> update.(i).forward.(i) <- node.forward.(i)
+    | _ -> ());
+    node.forward.(i) <- None
+  done;
+  t.length <- t.length - 1;
+  while t.level > 1 && t.head.forward.(t.level - 1) = None do
+    t.level <- t.level - 1
+  done
+
+let remove t key =
+  let update = Array.make t.max_level t.head in
+  let pred = find_predecessors t key (Some update) in
+  match pred.forward.(0) with
+  | Some n when n.key = key ->
+      unlink t update n;
+      true
+  | _ -> false
+
+let iter_range t ?from ?until f =
+  let start =
+    match from with
+    | None -> t.head.forward.(0)
+    | Some k ->
+        let pred = find_predecessors t k None in
+        pred.forward.(0)
+  in
+  let rec walk = function
+    | None -> ()
+    | Some n -> (
+        match until with
+        | Some u when n.key >= u -> ()
+        | _ ->
+            (match n.value with Some v -> f n.key v | None -> ());
+            walk n.forward.(0))
+  in
+  walk start
+
+let fold_range t ?from ?until f init =
+  let acc = ref init in
+  iter_range t ?from ?until (fun k v -> acc := f !acc k v);
+  !acc
+
+let remove_range t ~from ~until =
+  let doomed = fold_range t ~from ~until (fun acc k _ -> k :: acc) [] in
+  List.iter (fun k -> ignore (remove t k)) doomed;
+  List.length doomed
+
+let to_list t = List.rev (fold_range t (fun acc k v -> (k, v) :: acc) [])
+
+let check_invariants t =
+  (* strictly increasing keys at every level; length consistent *)
+  let ok = ref true in
+  for i = 0 to t.level - 1 do
+    let rec walk prev = function
+      | None -> ()
+      | Some n ->
+          if prev >= n.key && not (prev = "" && n.key = "") then
+            if prev >= n.key then ok := false;
+          walk n.key n.forward.(i)
+    in
+    match t.head.forward.(i) with
+    | None -> ()
+    | Some first -> walk first.key first.forward.(i)
+  done;
+  let count = fold_range t (fun acc _ _ -> acc + 1) 0 in
+  !ok && count = t.length

@@ -1,0 +1,42 @@
+(** Probabilistic skiplist over string keys (Pugh [56], as used by the
+    paper's Resolvers for the [lastCommit] history).
+
+    Expected O(log n) search/insert/delete. The tower heights come from a
+    caller-supplied deterministic RNG so simulation runs stay reproducible. *)
+
+type 'a t
+
+val create : ?max_level:int -> rng:Fdb_util.Det_rng.t -> unit -> 'a t
+(** An empty skiplist; [max_level] defaults to 24. *)
+
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Exact-key lookup. *)
+
+val find_less_equal : 'a t -> string -> (string * 'a) option
+(** Greatest entry with key <= the probe (the covering range start, for
+    range-version queries). *)
+
+val insert : 'a t -> string -> 'a -> unit
+(** Insert or replace. *)
+
+val remove : 'a t -> string -> bool
+(** Delete; returns whether the key was present. *)
+
+val iter_range : 'a t -> ?from:string -> ?until:string -> (string -> 'a -> unit) -> unit
+(** Visit entries with [from <= key < until] in key order ([from] defaults
+    to the beginning, [until] to the end). *)
+
+val fold_range :
+  'a t -> ?from:string -> ?until:string -> ('acc -> string -> 'a -> 'acc) -> 'acc -> 'acc
+
+val remove_range : 'a t -> from:string -> until:string -> int
+(** Delete every entry with [from <= key < until]; returns the count. *)
+
+val to_list : 'a t -> (string * 'a) list
+(** All entries in key order (tests/debugging). *)
+
+val check_invariants : 'a t -> bool
+(** Structural self-check: keys strictly sorted at every level, towers
+    consistent. For property tests. *)

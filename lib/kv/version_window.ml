@@ -1,0 +1,145 @@
+module KeyMap = Map.Make (String)
+
+type key_event = {
+  ev : int64;
+  seq : int; (* application order within a commit version *)
+  set : string option; (* None = cleared *)
+}
+
+type read_result = Value of string | Cleared | Unknown
+
+type t = {
+  mutable per_key : key_event list KeyMap.t; (* newest event first *)
+  mutable seq : int;
+  mutable tombstones : (int64 * int * string * string) list; (* newest first *)
+  mutable log_front : (int64 * Mutation.t) list; (* oldest first *)
+  mutable log_rear : (int64 * Mutation.t) list; (* newest first *)
+  mutable latest : int64;
+  mutable oldest : int64;
+  mutable events : int;
+}
+
+let create ?(initial_version = 0L) () =
+  {
+    per_key = KeyMap.empty;
+    seq = 0;
+    tombstones = [];
+    log_front = [];
+    log_rear = [];
+    latest = initial_version;
+    oldest = initial_version;
+    events = 0;
+  }
+
+let push_key_event t key event =
+  t.per_key <-
+    KeyMap.update key
+      (function None -> Some [ event ] | Some l -> Some (event :: l))
+      t.per_key
+
+let apply t version (m : Mutation.t) =
+  if version < t.latest then invalid_arg "Version_window.apply: version regression";
+  t.seq <- t.seq + 1;
+  (* Mutations within one commit version apply in submission order; the
+     sequence number breaks version ties (a range clear after a set in the
+     same transaction must win, and vice versa). *)
+  (match m with
+  | Mutation.Set (k, v) -> push_key_event t k { ev = version; seq = t.seq; set = Some v }
+  | Mutation.Clear k -> push_key_event t k { ev = version; seq = t.seq; set = None }
+  | Mutation.Clear_range (a, b) -> t.tombstones <- (version, t.seq, a, b) :: t.tombstones
+  | Mutation.Atomic _ -> invalid_arg "Version_window.apply: unmaterialized atomic");
+  t.log_rear <- (version, m) :: t.log_rear;
+  t.latest <- version;
+  t.events <- t.events + 1
+
+let newest_key_event t version key =
+  match KeyMap.find_opt key t.per_key with
+  | None -> None
+  | Some events -> List.find_opt (fun e -> e.ev <= version) events
+
+let newest_tombstone t version key =
+  List.fold_left
+    (fun acc (v, sq, a, b) ->
+      if v <= version && a <= key && key < b then
+        match acc with Some (v', sq') when (v', sq') >= (v, sq) -> acc | _ -> Some (v, sq)
+      else acc)
+    None t.tombstones
+
+let read t version key =
+  let key_ev = newest_key_event t version key in
+  let tomb = newest_tombstone t version key in
+  match (key_ev, tomb) with
+  | None, None -> Unknown
+  | Some { set; _ }, None -> ( match set with Some v -> Value v | None -> Cleared)
+  | None, Some _ -> Cleared
+  | Some { ev; seq; set }, Some (tv, tseq) ->
+      if (tv, tseq) > (ev, seq) then Cleared
+      else ( match set with Some v -> Value v | None -> Cleared)
+
+let keys_in_range t ~from ~until =
+  KeyMap.to_seq_from from t.per_key
+  |> Seq.take_while (fun (k, _) -> k < until)
+  |> Seq.map fst |> List.of_seq
+
+let cleared_ranges_at t version =
+  List.filter_map (fun (v, _, a, b) -> if v <= version then Some (a, b) else None) t.tombstones
+
+(* Remove index entries for a mutation that is leaving the window. Events
+   with version <= bound form the oldest suffix of each newest-first list. *)
+let unindex t bound (m : Mutation.t) =
+  let trim key =
+    t.per_key <-
+      KeyMap.update key
+        (function
+          | None -> None
+          | Some events -> (
+              match List.filter (fun e -> e.ev > bound) events with
+              | [] -> None
+              | l -> Some l))
+        t.per_key
+  in
+  match m with
+  | Mutation.Set (k, _) | Mutation.Clear k -> trim k
+  | Mutation.Clear_range _ ->
+      t.tombstones <- List.filter (fun (v, _, _, _) -> v > bound) t.tombstones
+  | Mutation.Atomic _ -> ()
+
+let pop_through t bound =
+  let rec take acc =
+    match t.log_front with
+    | (v, m) :: rest when v <= bound ->
+        t.log_front <- rest;
+        t.events <- t.events - 1;
+        unindex t bound m;
+        take (m :: acc)
+    | [] when t.log_rear <> [] ->
+        t.log_front <- List.rev t.log_rear;
+        t.log_rear <- [];
+        take acc
+    | _ -> List.rev acc
+  in
+  let popped = take [] in
+  if bound > t.oldest then t.oldest <- bound;
+  popped
+
+let rollback t ~after =
+  let keep (v, _) = v <= after in
+  let dropped =
+    List.length (List.filter (fun e -> not (keep e)) t.log_rear)
+    + List.length (List.filter (fun e -> not (keep e)) t.log_front)
+  in
+  t.log_rear <- List.filter keep t.log_rear;
+  t.log_front <- List.filter keep t.log_front;
+  t.per_key <-
+    KeyMap.filter_map
+      (fun _ events ->
+        match List.filter (fun e -> e.ev <= after) events with [] -> None | l -> Some l)
+      t.per_key;
+  t.tombstones <- List.filter (fun (v, _, _, _) -> v <= after) t.tombstones;
+  t.events <- t.events - dropped;
+  if t.latest > after then t.latest <- after;
+  dropped
+
+let latest t = t.latest
+let oldest t = t.oldest
+let event_count t = t.events

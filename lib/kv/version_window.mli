@@ -1,0 +1,51 @@
+(** The StorageServer's in-memory multi-version window (paper §2.4.4: "an
+    unversioned SQLite B-tree and in-memory multi-versioned redo log data").
+
+    Holds the last ~5 seconds of mutations, indexed two ways: a
+    chronological log (for feeding the persistent store in order, and for
+    rollback on recovery) and a per-key history plus range-tombstone list
+    (for serving reads at a version). Only concrete mutations are stored —
+    atomic ops must be materialized by the caller before {!apply}. *)
+
+type t
+
+type read_result =
+  | Value of string  (** key present with this value at the read version *)
+  | Cleared  (** key definitely absent at the read version *)
+  | Unknown  (** no window event at or before the version: consult the
+                 persistent store *)
+
+val create : ?initial_version:int64 -> unit -> t
+
+val apply : t -> int64 -> Mutation.t -> unit
+(** Record a mutation at a commit version. Versions must be non-decreasing;
+    [Atomic] mutations are rejected with [Invalid_argument]. *)
+
+val read : t -> int64 -> string -> read_result
+(** Visible state of a key at a version, considering newer-wins ordering of
+    per-key events and covering range clears. *)
+
+val keys_in_range : t -> from:string -> until:string -> string list
+(** Keys with any window event in [\[from, until)], ascending. *)
+
+val cleared_ranges_at : t -> int64 -> (string * string) list
+(** Range clears visible at the version (to mask persistent-store keys). *)
+
+val pop_through : t -> int64 -> Mutation.t list
+(** Remove and return the chronological prefix of mutations with version <=
+    the argument, in application order — the batch that graduates to the
+    persistent store when it leaves the MVCC window. *)
+
+val rollback : t -> after:int64 -> int
+(** Discard all events with version > [after] (recovery §2.4.4); returns
+    how many were dropped. *)
+
+val latest : t -> int64
+(** Highest version applied ([initial_version] if none). *)
+
+val oldest : t -> int64
+(** Lowest version still in the window (reads below this must go to the
+    persistent store; the caller tracks whether that is safe). *)
+
+val event_count : t -> int
+(** Events currently buffered (Ratekeeper input). *)

@@ -1,0 +1,104 @@
+open Fdb_sim
+open Future.Syntax
+
+type t = {
+  transport : Wire.transport;
+  reg : string;
+  proposer : int;
+  mutable round : int;
+  mutable ballot : Wire.ballot;
+}
+
+exception Lock_lost
+
+let create transport ~reg ~proposer =
+  { transport; reg; proposer; round = 0; ballot = Wire.ballot_zero }
+
+let majority t = (List.length t.transport.endpoints / 2) + 1
+
+(* Send [req] to every coordinator and collect the responses that arrive;
+   failures (timeouts) count as silence. *)
+let broadcast t req : Wire.response list Future.t =
+  let calls =
+    List.map
+      (fun ep ->
+        Future.catch
+          (fun () -> Future.map (t.transport.call ep req) (fun r -> Some r))
+          (fun _ -> Future.return None))
+      t.transport.endpoints
+  in
+  Future.map (Future.all calls) (List.filter_map Fun.id)
+
+let backoff () = Engine.sleep (0.05 +. Engine.random_float 0.2)
+
+let rec lock_and_read t =
+  t.round <- t.round + 1;
+  t.ballot <- { Wire.round = t.round; proposer = t.proposer };
+  let* responses = broadcast t (Wire.Prepare { reg = t.reg; ballot = t.ballot }) in
+  let promises, best, highest_round =
+    List.fold_left
+      (fun (n, best, hr) resp ->
+        match resp with
+        | Wire.Promised { accepted } ->
+            let best =
+              match (accepted, best) with
+              | Some (b, v), Some (b', _) when Wire.ballot_compare b b' > 0 -> Some (b, v)
+              | Some (b, v), None -> Some (b, v)
+              | _ -> best
+            in
+            (n + 1, best, hr)
+        | Wire.Nacked { higher } -> (n, best, max hr higher.Wire.round)
+        | Wire.Accepted | Wire.Read_result _ -> (n, best, hr))
+      (0, None, t.round) responses
+  in
+  if promises >= majority t then Future.return (Option.map snd best)
+  else begin
+    t.round <- highest_round;
+    let* () = backoff () in
+    lock_and_read t
+  end
+
+let rec write t value =
+  let* responses =
+    broadcast t (Wire.Accept { reg = t.reg; ballot = t.ballot; value })
+  in
+  let accepts, nacked =
+    List.fold_left
+      (fun (n, nack) resp ->
+        match resp with
+        | Wire.Accepted -> (n + 1, nack)
+        | Wire.Nacked _ -> (n, true)
+        | Wire.Promised _ | Wire.Read_result _ -> (n, nack))
+      (0, false) responses
+  in
+  if accepts >= majority t then Future.return ()
+  else if nacked then Future.fail Lock_lost
+  else
+    let* () = backoff () in
+    write t value
+
+let read t =
+  let* v = lock_and_read t in
+  match v with
+  | None -> Future.return None
+  | Some value ->
+      let* () = write t value in
+      Future.return (Some value)
+
+let rec read_any t =
+  let* responses = broadcast t (Wire.Read { reg = t.reg }) in
+  if List.length responses >= majority t then
+    Future.return
+      (List.fold_left
+         (fun best resp ->
+           match resp with
+           | Wire.Read_result { accepted = Some (b, v) } -> (
+               match best with
+               | Some (b', _) when Wire.ballot_compare b' b >= 0 -> best
+               | _ -> Some (b, v))
+           | _ -> best)
+         None responses
+      |> Option.map snd)
+  else
+    let* () = backoff () in
+    read_any t

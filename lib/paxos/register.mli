@@ -1,0 +1,33 @@
+(** Client side of the coordinated-state register (paper §2.3.1, §2.4.4).
+
+    A {!lock_and_read} installs a new ballot on a majority of coordinators:
+    it returns the most recent majority-written value and — crucially —
+    invalidates the write ability of every earlier locker, which is exactly
+    how a recovering Sequencer "locks the coordinated states to prevent
+    another Sequencer process from recovering at the same time". *)
+
+type t
+
+exception Lock_lost
+(** A {!write} was rejected because some later client locked the register. *)
+
+val create : Wire.transport -> reg:string -> proposer:int -> t
+(** A client identity for register [reg]; [proposer] must be unique among
+    concurrent clients (e.g. the process id). *)
+
+val lock_and_read : t -> string option Fdb_sim.Future.t
+(** Acquire a fresh ballot on a majority (retrying with backoff through
+    failures and ballot races) and return the current value, if any. *)
+
+val write : t -> string -> unit Fdb_sim.Future.t
+(** Write under the ballot of the last {!lock_and_read}. Retries through
+    silence; fails with {!Lock_lost} if outballoted. Must be preceded by a
+    successful {!lock_and_read}. *)
+
+val read : t -> string option Fdb_sim.Future.t
+(** Linearizable read: lock, read, and write the value back so it can no
+    longer be lost. *)
+
+val read_any : t -> string option Fdb_sim.Future.t
+(** Weak read: highest accepted value on any majority, without locking
+    (used for leader polling; may return stale or unstable values). *)

@@ -1,0 +1,70 @@
+open Fdb_sim
+open Future.Syntax
+
+type reg_state = {
+  mutable promised : Wire.ballot;
+  mutable accepted : (Wire.ballot * string) option;
+}
+
+type t = {
+  disk : Disk.t;
+  file : string;
+  regs : (string, reg_state) Hashtbl.t;
+}
+
+type persisted = (string * (Wire.ballot * (Wire.ballot * string) option)) list
+
+let recover ~disk ~file () =
+  let* contents = Disk.read_file disk file in
+  let regs = Hashtbl.create 8 in
+  (match contents with
+  | None -> ()
+  | Some s -> (
+      match (Marshal.from_string s 0 : persisted) with
+      | entries ->
+          List.iter
+            (fun (name, (promised, accepted)) ->
+              Hashtbl.replace regs name { promised; accepted })
+            entries
+      | exception _ -> ()));
+  Future.return { disk; file; regs }
+
+let persist t =
+  let entries =
+    Hashtbl.fold (fun name st acc -> (name, (st.promised, st.accepted)) :: acc) t.regs []
+  in
+  let* () = Disk.write_file t.disk t.file (Marshal.to_string (entries : persisted) []) in
+  Disk.sync t.disk t.file
+
+let get_reg t name =
+  match Hashtbl.find_opt t.regs name with
+  | Some st -> st
+  | None ->
+      let st = { promised = Wire.ballot_zero; accepted = None } in
+      Hashtbl.add t.regs name st;
+      st
+
+let handle t (req : Wire.request) : Wire.response Future.t =
+  match req with
+  | Wire.Read { reg } ->
+      let st = get_reg t reg in
+      Future.return (Wire.Read_result { accepted = st.accepted })
+  | Wire.Prepare { reg; ballot } ->
+      let st = get_reg t reg in
+      if Wire.ballot_compare ballot st.promised > 0 then begin
+        st.promised <- ballot;
+        let* () = persist t in
+        Future.return (Wire.Promised { accepted = st.accepted })
+      end
+      else Future.return (Wire.Nacked { higher = st.promised })
+  | Wire.Accept { reg; ballot; value } ->
+      let st = get_reg t reg in
+      if Wire.ballot_compare ballot st.promised >= 0 then begin
+        st.promised <- ballot;
+        st.accepted <- Some (ballot, value);
+        let* () = persist t in
+        Future.return Wire.Accepted
+      end
+      else Future.return (Wire.Nacked { higher = st.promised })
+
+let dump t = Hashtbl.fold (fun name st acc -> (name, st.accepted) :: acc) t.regs []

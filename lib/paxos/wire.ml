@@ -1,0 +1,22 @@
+type ballot = { round : int; proposer : int }
+
+let ballot_compare a b =
+  match compare a.round b.round with 0 -> compare a.proposer b.proposer | c -> c
+
+let ballot_zero = { round = 0; proposer = 0 }
+
+type request =
+  | Prepare of { reg : string; ballot : ballot }
+  | Accept of { reg : string; ballot : ballot; value : string }
+  | Read of { reg : string }
+
+type response =
+  | Promised of { accepted : (ballot * string) option }
+  | Accepted
+  | Nacked of { higher : ballot }
+  | Read_result of { accepted : (ballot * string) option }
+
+type transport = {
+  endpoints : int list;
+  call : int -> request -> response Fdb_sim.Future.t;
+}

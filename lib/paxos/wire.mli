@@ -1,0 +1,32 @@
+(** Wire protocol of the coordinator (Active Disk Paxos [27]) registers.
+
+    The database embeds these messages in its own RPC variant and hands the
+    library a {!transport}; the Paxos code never touches the network
+    directly, which keeps it reusable and unit-testable. *)
+
+type ballot = { round : int; proposer : int }
+(** Totally ordered by (round, proposer). *)
+
+val ballot_compare : ballot -> ballot -> int
+val ballot_zero : ballot
+
+type request =
+  | Prepare of { reg : string; ballot : ballot }
+      (** Phase 1: promise not to accept lower ballots for register [reg]. *)
+  | Accept of { reg : string; ballot : ballot; value : string }
+      (** Phase 2: store [value] unless a higher ballot was promised. *)
+  | Read of { reg : string }
+      (** Unlocked read of the local accepted value (leader polling). *)
+
+type response =
+  | Promised of { accepted : (ballot * string) option }
+  | Accepted
+  | Nacked of { higher : ballot }
+  | Read_result of { accepted : (ballot * string) option }
+
+type transport = {
+  endpoints : int list;  (** coordinator addresses *)
+  call : int -> request -> response Fdb_sim.Future.t;
+      (** may fail (timeout / partition); the client treats failures as
+          silence and needs only a majority *)
+}

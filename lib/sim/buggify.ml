@@ -1,0 +1,41 @@
+module Rng = Fdb_util.Det_rng
+
+let enabled = ref false
+let rng = ref (Rng.create 0L)
+let point_active : (string, bool) Hashtbl.t = Hashtbl.create 32
+let fired : (string, unit) Hashtbl.t = Hashtbl.create 32
+
+let activation_probability = 0.25
+
+let configure ~enabled:e ~rng:r =
+  enabled := e;
+  rng := r;
+  Hashtbl.reset point_active;
+  Hashtbl.reset fired
+
+let reset () =
+  enabled := false;
+  Hashtbl.reset point_active;
+  Hashtbl.reset fired
+
+let on ?(p = 0.25) name =
+  if not !enabled then false
+  else begin
+    let active =
+      match Hashtbl.find_opt point_active name with
+      | Some a -> a
+      | None ->
+          let a = Rng.chance !rng activation_probability in
+          Hashtbl.add point_active name a;
+          a
+    in
+    if active && Rng.chance !rng p then begin
+      if not (Hashtbl.mem fired name) then Hashtbl.add fired name ();
+      true
+    end
+    else false
+  end
+
+let delay ?p name = if on ?p name then Rng.float !rng 1.0 else 0.0
+
+let points_hit () = Hashtbl.fold (fun k () acc -> k :: acc) fired [] |> List.sort compare

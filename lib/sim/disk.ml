@@ -1,0 +1,118 @@
+module Rng = Fdb_util.Det_rng
+
+type file = { mutable records : string list (* reversed *); mutable durable : int }
+
+type t = {
+  name : string;
+  seek : float;
+  bytes_per_sec : float;
+  sync_latency : float;
+  files : (string, file) Hashtbl.t;
+  mutable busy_until : float;
+  mutable written : float;
+}
+
+let create ?(seek = 8e-5) ?(bytes_per_sec = 5e8) ?(sync_latency = 3e-4) ~name () =
+  {
+    name;
+    seek;
+    bytes_per_sec;
+    sync_latency;
+    files = Hashtbl.create 16;
+    busy_until = 0.0;
+    written = 0.0;
+  }
+
+(* FCFS service queue, like Engine.cpu but for the disk spindle. *)
+let disk_op t dt =
+  let now = Engine.now () in
+  let start = if t.busy_until > now then t.busy_until else now in
+  let finish = start +. dt in
+  t.busy_until <- finish;
+  Engine.sleep (finish -. now)
+
+let get_file t name =
+  match Hashtbl.find_opt t.files name with
+  | Some f -> f
+  | None ->
+      let f = { records = []; durable = 0 } in
+      Hashtbl.add t.files name f;
+      f
+
+let append t name record =
+  let f = get_file t name in
+  f.records <- record :: f.records;
+  t.written <- t.written +. float_of_int (String.length record);
+  disk_op t (t.seek +. (float_of_int (String.length record) /. t.bytes_per_sec))
+
+let sync t name =
+  let f = get_file t name in
+  let n = List.length f.records in
+  Future.bind (disk_op t t.sync_latency) (fun () ->
+      (* Only what was buffered when sync was issued is made durable. *)
+      if n > f.durable then f.durable <- n;
+      Future.return ())
+
+let read_all t name =
+  match Hashtbl.find_opt t.files name with
+  | None -> Future.return []
+  | Some f ->
+      let records = List.rev f.records in
+      Future.map (disk_op t t.seek) (fun () -> records)
+
+let write_file t name contents =
+  let f = get_file t name in
+  f.records <- [ contents ];
+  f.durable <- 0;
+  t.written <- t.written +. float_of_int (String.length contents);
+  disk_op t (t.seek +. (float_of_int (String.length contents) /. t.bytes_per_sec))
+
+let read_file t name =
+  let v =
+    match Hashtbl.find_opt t.files name with
+    | None | Some { records = []; _ } -> None
+    | Some { records = r :: _; _ } -> Some r
+  in
+  Future.map (disk_op t t.seek) (fun () -> v)
+
+let delete t name =
+  Hashtbl.remove t.files name;
+  disk_op t t.seek
+
+let crash t =
+  let corrupting = Buggify.on ~p:0.5 "disk_partial_write" in
+  Hashtbl.iter
+    (fun _ f ->
+      let all = Array.of_list (List.rev f.records) in
+      let n = Array.length all in
+      let keep = Array.sub all 0 (min f.durable n) |> Array.to_list in
+      let survivors =
+        if corrupting && n > f.durable then begin
+          (* Unsynced records land out of order: a random subset survives.
+             Consumers must detect the resulting gaps via sequence numbers. *)
+          let extra = ref [] in
+          for i = f.durable to n - 1 do
+            if Engine.is_running () && Engine.chance 0.5 then extra := all.(i) :: !extra
+          done;
+          keep @ List.rev !extra
+        end
+        else keep
+      in
+      f.records <- List.rev survivors;
+      f.durable <- min f.durable (List.length survivors))
+    t.files
+
+let attach t p = Process.on_reboot p (fun () -> crash t)
+
+let bytes_written t = t.written
+
+let drop_prefix t name n =
+  match Hashtbl.find_opt t.files name with
+  | None -> ()
+  | Some f ->
+      let total = List.length f.records in
+      let n = min n total in
+      (* records is newest-first: keep the newest (total - n). *)
+      let rec take k l = if k = 0 then [] else match l with [] -> [] | x :: tl -> x :: take (k - 1) tl in
+      f.records <- take (total - n) f.records;
+      f.durable <- max 0 (f.durable - n)

@@ -1,0 +1,145 @@
+type 'a state =
+  | Pending of (('a, exn) result -> unit) list (* callbacks, reversed *)
+  | Resolved of ('a, exn) result
+
+type 'a t = { mutable state : 'a state }
+type 'a promise = 'a t
+
+let make () =
+  let f = { state = Pending [] } in
+  (f, f)
+
+let return v = { state = Resolved (Ok v) }
+let fail e = { state = Resolved (Error e) }
+
+let resolve_with t r =
+  match t.state with
+  | Resolved _ -> invalid_arg "Future: already resolved"
+  | Pending cbs ->
+      t.state <- Resolved r;
+      List.iter (fun cb -> cb r) (List.rev cbs)
+
+let fulfill p v = resolve_with p (Ok v)
+let break p e = resolve_with p (Error e)
+
+let try_resolve_with t r =
+  match t.state with
+  | Resolved _ -> false
+  | Pending _ ->
+      resolve_with t r;
+      true
+
+let try_fulfill p v = try_resolve_with p (Ok v)
+let try_break p e = try_resolve_with p (Error e)
+
+let is_resolved t = match t.state with Resolved _ -> true | Pending _ -> false
+let is_pending t = not (is_resolved t)
+let peek t = match t.state with Resolved (Ok v) -> Some v | _ -> None
+
+let on_resolve t cb =
+  match t.state with
+  | Resolved r -> cb r
+  | Pending cbs -> t.state <- Pending (cb :: cbs)
+
+let bind t f =
+  match t.state with
+  | Resolved (Ok v) -> f v
+  | Resolved (Error e) -> fail e
+  | Pending _ ->
+      let out, p = make () in
+      on_resolve t (function
+        | Error e -> break p e
+        | Ok v -> (
+            match f v with
+            | exception e -> break p e
+            | t' -> on_resolve t' (resolve_with p)));
+      out
+
+let map t f =
+  match t.state with
+  | Resolved (Ok v) -> ( match f v with exception e -> fail e | v' -> return v')
+  | Resolved (Error e) -> fail e
+  | Pending _ ->
+      let out, p = make () in
+      on_resolve t (function
+        | Error e -> break p e
+        | Ok v -> ( match f v with exception e -> break p e | v' -> fulfill p v'));
+      out
+
+let catch f h =
+  match f () with
+  | exception e -> h e
+  | t -> (
+      match t.state with
+      | Resolved (Ok _) -> t
+      | Resolved (Error e) -> h e
+      | Pending _ ->
+          let out, p = make () in
+          on_resolve t (function
+            | Ok v -> fulfill p v
+            | Error e -> (
+                match h e with
+                | exception e' -> break p e'
+                | t' -> on_resolve t' (resolve_with p)));
+          out)
+
+let protect ~finally f =
+  let t = try f () with e -> fail e in
+  match t.state with
+  | Resolved _ ->
+      finally ();
+      t
+  | Pending _ ->
+      let out, p = make () in
+      on_resolve t (fun r ->
+          finally ();
+          resolve_with p r);
+      out
+
+let all ts =
+  match ts with
+  | [] -> return []
+  | _ ->
+      let n = List.length ts in
+      let results = Array.make n None in
+      let remaining = ref n in
+      let out, p = make () in
+      List.iteri
+        (fun i t ->
+          on_resolve t (function
+            | Error e -> ignore (try_break p e)
+            | Ok v ->
+                results.(i) <- Some v;
+                decr remaining;
+                if !remaining = 0 then
+                  ignore
+                    (try_fulfill p
+                       (Array.to_list results
+                       |> List.map (function Some v -> v | None -> assert false)))))
+        ts;
+      out
+
+let all_unit ts = map (all ts) (fun _ -> ())
+
+let join2 a b =
+  bind a (fun va -> map b (fun vb -> (va, vb)))
+
+exception Any_empty
+
+let any_exn = Any_empty
+
+let race ts =
+  match ts with
+  | [] -> fail Any_empty
+  | _ ->
+      let out, p = make () in
+      List.iter (fun t -> on_resolve t (fun r -> ignore (try_resolve_with p r))) ts;
+      out
+
+let ignore_result (_ : 'a t) = ()
+
+module Syntax = struct
+  let ( let* ) = bind
+  let ( let+ ) = map
+  let ( and* ) = join2
+end

@@ -1,0 +1,79 @@
+(** Single-threaded promises — the analogue of the paper's Flow futures.
+
+    A future is resolved at most once, with a value or an exception.
+    Callbacks run synchronously, in registration order, on the stack of
+    whoever resolves the promise; all asynchrony (and hence all scheduling
+    nondeterminism) lives in {!Engine}, never here. *)
+
+type 'a t
+(** A value of type ['a] that may not have arrived yet. *)
+
+type 'a promise
+(** The write end of a future. *)
+
+val make : unit -> 'a t * 'a promise
+(** A fresh pending future and its resolver. *)
+
+val return : 'a -> 'a t
+(** An already-fulfilled future. *)
+
+val fail : exn -> 'a t
+(** An already-failed future. *)
+
+val fulfill : 'a promise -> 'a -> unit
+(** Resolve with a value. Raises [Invalid_argument] if already resolved. *)
+
+val break : 'a promise -> exn -> unit
+(** Resolve with an exception. Raises [Invalid_argument] if already resolved. *)
+
+val try_fulfill : 'a promise -> 'a -> bool
+(** Like {!fulfill} but reports [false] instead of raising when the future is
+    already resolved (races between a reply and a timeout are normal). *)
+
+val try_break : 'a promise -> exn -> bool
+(** Like {!break}, non-raising. *)
+
+val is_resolved : 'a t -> bool
+val is_pending : 'a t -> bool
+
+val peek : 'a t -> 'a option
+(** The fulfilled value if available now ([None] if pending or failed). *)
+
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val map : 'a t -> ('a -> 'b) -> 'b t
+
+val on_resolve : 'a t -> (('a, exn) result -> unit) -> unit
+(** Register a callback for whichever way the future resolves. *)
+
+val catch : (unit -> 'a t) -> (exn -> 'a t) -> 'a t
+(** [catch f h] runs [f ()]; if it raises or its future fails, continue
+    with [h exn]. *)
+
+val protect : finally:(unit -> unit) -> (unit -> 'a t) -> 'a t
+(** [protect ~finally f] runs [finally ()] once [f ()]'s future resolves,
+    whether with a value or an exception. *)
+
+val all : 'a t list -> 'a list t
+(** Resolves with all results (in input order) once every future fulfills;
+    fails as soon as any fails. *)
+
+val all_unit : unit t list -> unit t
+
+val join2 : 'a t -> 'b t -> ('a * 'b) t
+
+val race : 'a t list -> 'a t
+(** Resolves like the first of the inputs to resolve. The losers are left
+    to resolve unobserved. *)
+
+val any_exn : exn
+(** Exception used by {!race} on an empty list. *)
+
+val ignore_result : 'a t -> unit
+(** Detach: drop the value; re-raise nothing (failures are swallowed).
+    Use only for fire-and-forget actors that handle their own errors. *)
+
+module Syntax : sig
+  val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+  val ( let+ ) : 'a t -> ('a -> 'b) -> 'b t
+  val ( and* ) : 'a t -> 'b t -> ('a * 'b) t
+end

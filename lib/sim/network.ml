@@ -1,0 +1,155 @@
+module Rng = Fdb_util.Det_rng
+
+type endpoint = int
+
+type 'm handler = { h_proc : Process.t; h_inc : int; h_fn : 'm -> 'm Future.t }
+
+type 'm t = {
+  rng : Rng.t;
+  dc_latency : (string * string, float) Hashtbl.t;
+  partitions : (int * int, unit) Hashtbl.t;
+  isolated : (int, unit) Hashtbl.t;
+  clogged : (int, float) Hashtbl.t;
+  handlers : (endpoint, 'm handler) Hashtbl.t;
+  pending : (int, 'm Future.promise) Hashtbl.t;
+  mutable loss_prob : float;
+  mutable next_endpoint : int;
+  mutable next_rpc : int;
+  mutable sent : int;
+}
+
+let bytes_per_sec = 1.25e9 (* 10 GbE *)
+
+let create ?(loss_prob = 0.0) ?seed_rng () =
+  let rng = match seed_rng with Some r -> r | None -> Engine.fork_rng () in
+  {
+    rng;
+    dc_latency = Hashtbl.create 8;
+    partitions = Hashtbl.create 8;
+    isolated = Hashtbl.create 8;
+    clogged = Hashtbl.create 8;
+    handlers = Hashtbl.create 64;
+    pending = Hashtbl.create 64;
+    loss_prob;
+    next_endpoint = 0;
+    next_rpc = 0;
+    sent = 0;
+  }
+
+let set_dc_latency t a b l =
+  Hashtbl.replace t.dc_latency (a, b) l;
+  Hashtbl.replace t.dc_latency (b, a) l
+
+let partition t ~from ~to_ = Hashtbl.replace t.partitions (from, to_) ()
+let heal t ~from ~to_ = Hashtbl.remove t.partitions (from, to_)
+let isolate_machine t m = Hashtbl.replace t.isolated m ()
+let unisolate_machine t m = Hashtbl.remove t.isolated m
+let clog_machine t m until = Hashtbl.replace t.clogged m until
+let set_loss_prob t p = t.loss_prob <- p
+
+let fresh_endpoint t =
+  t.next_endpoint <- t.next_endpoint + 1;
+  t.next_endpoint
+
+let register t ep proc fn =
+  Hashtbl.replace t.handlers ep
+    { h_proc = proc; h_inc = proc.Process.incarnation; h_fn = fn }
+
+let unregister t ep = Hashtbl.remove t.handlers ep
+
+let messages_sent t = t.sent
+
+let base_latency t (src : Process.machine) (dst : Process.machine) =
+  if src.Process.machine_id = dst.Process.machine_id then 5e-5
+  else if src.Process.dc = dst.Process.dc then 1.5e-4
+  else
+    match Hashtbl.find_opt t.dc_latency (src.Process.dc, dst.Process.dc) with
+    | Some l -> l
+    | None -> 0.03
+
+let clog_delay t machine_id =
+  match Hashtbl.find_opt t.clogged machine_id with
+  | Some until ->
+      let d = until -. Engine.now () in
+      if d > 0.0 then d else 0.0
+  | None -> 0.0
+
+let blocked t src_m dst_m =
+  Hashtbl.mem t.partitions (src_m, dst_m)
+  || Hashtbl.mem t.isolated src_m
+  || Hashtbl.mem t.isolated dst_m
+
+(* Compute delivery delay; None if the message is dropped. *)
+let route t ~(src : Process.machine) ~(dst : Process.machine) ~bytes =
+  t.sent <- t.sent + 1;
+  if blocked t src.Process.machine_id dst.Process.machine_id then None
+  else if Rng.chance t.rng t.loss_prob then None
+  else begin
+    let base = base_latency t src dst in
+    let jitter = Rng.exponential t.rng (base /. 4.0) in
+    let transmit = float_of_int bytes /. bytes_per_sec in
+    let clog =
+      clog_delay t src.Process.machine_id +. clog_delay t dst.Process.machine_id
+    in
+    Some (base +. jitter +. transmit +. clog)
+  end
+
+type 'm wire = Request of { rpc_id : int; reply_to : Process.t; payload : 'm }
+
+(* Deliver a request to [ep]'s handler; route the response back. *)
+let deliver t ep (Request { rpc_id; reply_to; payload }) =
+  match Hashtbl.find_opt t.handlers ep with
+  | None -> () (* no such endpoint (yet / anymore): caller times out *)
+  | Some h ->
+      if not (Process.is_live h.h_proc h.h_inc) then ()
+      else
+        Engine.with_process h.h_proc (fun () ->
+            match h.h_fn payload with
+            | exception exn ->
+                Trace.emit "rpc_handler_error"
+                  [ ("exn", Printexc.to_string exn); ("endpoint", string_of_int ep) ]
+            | resp_fut ->
+                Future.on_resolve resp_fut (function
+                  | Error exn ->
+                      Trace.emit "rpc_handler_error"
+                        [ ("exn", Printexc.to_string exn); ("endpoint", string_of_int ep) ]
+                  | Ok resp -> (
+                      if rpc_id = 0 then () (* one-way *)
+                      else
+                        match
+                          route t ~src:h.h_proc.Process.machine
+                            ~dst:reply_to.Process.machine ~bytes:0
+                        with
+                        | None -> ()
+                        | Some delay ->
+                            Engine.schedule ~after:delay ~process:reply_to (fun () ->
+                                match Hashtbl.find_opt t.pending rpc_id with
+                                | None -> () (* already timed out *)
+                                | Some promise ->
+                                    Hashtbl.remove t.pending rpc_id;
+                                    ignore (Future.try_fulfill promise resp)))))
+
+let post t ?(bytes = 0) ~(from : Process.t) ep ~rpc_id payload =
+  match Hashtbl.find_opt t.handlers ep with
+  | None -> ()
+  | Some h -> (
+      match route t ~src:from.Process.machine ~dst:h.h_proc.Process.machine ~bytes with
+      | None -> ()
+      | Some delay ->
+          let msg = Request { rpc_id; reply_to = from; payload } in
+          Engine.schedule ~after:delay ~process:h.h_proc (fun () -> deliver t ep msg))
+
+let call t ?(timeout = 5.0) ?bytes ~from ep payload =
+  t.next_rpc <- t.next_rpc + 1;
+  let rpc_id = t.next_rpc in
+  let fut, promise = Future.make () in
+  Hashtbl.replace t.pending rpc_id promise;
+  post t ?bytes ~from ep ~rpc_id payload;
+  Engine.schedule ~after:timeout (fun () ->
+      if Hashtbl.mem t.pending rpc_id then begin
+        Hashtbl.remove t.pending rpc_id;
+        ignore (Future.try_break promise Engine.Timed_out)
+      end);
+  fut
+
+let send t ?bytes ~from ep payload = post t ?bytes ~from ep ~rpc_id:0 payload

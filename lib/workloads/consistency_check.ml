@@ -1,0 +1,100 @@
+open Fdb_sim
+open Fdb_core
+open Future.Syntax
+
+let read_replica ctx proc ~ep ~from ~until ~version ~epoch =
+  let rec attempt n =
+    if n = 0 then Future.return None
+    else
+      Future.catch
+        (fun () ->
+          let* reply =
+            Context.rpc ctx ~timeout:2.0 ~from:proc ep
+              (Message.Storage_get_range
+                 {
+                   gr_from = from;
+                   gr_until = until;
+                   gr_version = version;
+                   gr_limit = max_int;
+                   gr_reverse = false;
+                   gr_epoch = epoch;
+                 })
+          in
+          match reply with
+          | Message.Storage_get_range_reply rows -> Future.return (Some rows)
+          | _ -> Future.return None)
+        (fun _ ->
+          let* () = Engine.sleep 0.5 in
+          attempt (n - 1))
+  in
+  attempt 10
+
+let check cluster =
+  let ctx = Cluster.context cluster in
+  let db = Cluster.client cluster ~name:"consistency-check" in
+  let machine = Process.fresh_machine ~dc:"dc1" 900_001 in
+  let proc = Process.create ~name:"consistency-check" machine in
+  Future.catch
+    (fun () ->
+      let* version, epoch = Client.run db (fun tx -> Client.read_snapshot tx) in
+      let shards = Shard_map.ranges ctx.Context.shard_map in
+      let teams = Shard_map.tag_teams ctx.Context.shard_map in
+      let rec walk i =
+        if i >= Array.length shards then Future.return (Ok ())
+        else begin
+          let from, until = shards.(i) in
+          (* Stay inside the user key space: system shards hold SS-local
+             metadata that is not replicated content. *)
+          let until = min until Types.key_space_end in
+          if from >= until then walk (i + 1)
+          else begin
+            let* replicas =
+              Future.all
+                (List.map
+                   (fun ss ->
+                     let* rows =
+                       read_replica ctx proc ~ep:ctx.Context.storage_eps.(ss) ~from
+                         ~until ~version ~epoch
+                     in
+                     Future.return (ss, rows))
+                   teams.(i))
+            in
+            let readable = List.filter_map (fun (ss, r) -> Option.map (fun x -> (ss, x)) r) replicas in
+            match readable with
+            | [] -> Future.return (Error (Printf.sprintf "shard %d: no readable replica" i))
+            | (ss0, rows0) :: rest ->
+                let mismatch =
+                  List.find_opt (fun (_, rows) -> rows <> rows0) rest
+                in
+                (match mismatch with
+                | Some (ss1, rows1) ->
+                    (* Describe the first few differing keys for debugging. *)
+                    let diffs = ref [] in
+                    List.iter
+                      (fun (k, v) ->
+                        match List.assoc_opt k rows0 with
+                        | Some v0 when v0 = v -> ()
+                        | Some v0 ->
+                            diffs := Printf.sprintf "%S: %d=%S %d=%S" k ss1 v ss0 v0 :: !diffs
+                        | None -> diffs := Printf.sprintf "%S: only on %d (=%S)" k ss1 v :: !diffs)
+                      rows1;
+                    List.iter
+                      (fun (k, v) ->
+                        if not (List.mem_assoc k rows1) then
+                          diffs := Printf.sprintf "%S: only on %d (=%S)" k ss0 v :: !diffs)
+                      rows0;
+                    let head =
+                      match !diffs with
+                      | a :: b :: c :: _ -> String.concat "; " [ a; b; c ]
+                      | l -> String.concat "; " l
+                    in
+                    Future.return
+                      (Error
+                         (Printf.sprintf "shard %d: replica %d disagrees with replica %d [%s]"
+                            i ss1 ss0 head))
+                | None -> walk (i + 1))
+          end
+        end
+      in
+      walk 0)
+    (fun e -> Future.return (Error ("consistency check failed: " ^ Printexc.to_string e)))

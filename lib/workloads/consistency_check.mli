@@ -1,0 +1,8 @@
+(** Replica consistency oracle (paper §6.2: "we constantly perform data
+    consistency checks by comparing replicas of data records").
+
+    For every shard, reads the full shard contents from each team member at
+    one common read version and compares them byte for byte. Run it on a
+    quiesced, healed cluster (after fault injection ends). *)
+
+val check : Fdb_core.Cluster.t -> (unit, string) result Fdb_sim.Future.t

@@ -1,0 +1,138 @@
+open Fdb_sim
+open Fdb_core
+open Future.Syntax
+module Rng = Fdb_util.Det_rng
+
+type stats = { committed : int; aborted : int; probed_unknown : int }
+
+let data_key i = Printf.sprintf "soup/%04d" i
+let marker_key client n = Printf.sprintf "soup-mark/%d/%06d" client n
+
+(* Build one transaction: reads first (so read-your-writes never masks a
+   storage observation), then writes with unique values, then the
+   versionstamped marker. Returns everything needed to record it. *)
+let prepare db ~keys ~rng ~marker ~unique =
+  let tx = Client.begin_tx db in
+  let n_reads = 1 + Rng.int rng 3 in
+  let n_writes = 1 + Rng.int rng 3 in
+  let read_keys =
+    List.sort_uniq compare (List.init n_reads (fun _ -> data_key (Rng.int rng keys)))
+  in
+  let* rv = Client.get_read_version tx in
+  let rec do_reads acc = function
+    | [] -> Future.return (List.rev acc)
+    | k :: rest ->
+        let* v = Client.get tx k in
+        do_reads ((k, v) :: acc) rest
+  in
+  let* reads = do_reads [] read_keys in
+  let writes =
+    List.init n_writes (fun i ->
+        (data_key (Rng.int rng keys), Printf.sprintf "%s.%d" unique i))
+  in
+  List.iter (fun (k, v) -> Client.set tx k v) writes;
+  Client.set_versionstamped_value tx ~key:marker
+    ~template:Client.versionstamp_placeholder ~offset:0;
+  Future.return (tx, rv, reads, writes)
+
+(* After an unknown result, decide the transaction's fate from its marker:
+   present => committed at the stamped version. A failed READ is not an
+   answer — keep retrying until a read definitively succeeds (clusters in
+   these simulations always heal), and require two successful absent reads
+   spaced out, because an unknown-result commit can still land while its
+   pushes drain through a clogged network. *)
+let probe_marker db marker =
+  let rec definitive_read tries =
+    let* r =
+      Future.catch
+        (fun () ->
+          let* v = Client.run db ~max_attempts:16 (fun tx -> Client.get tx marker) in
+          Future.return (`Read v))
+        (fun e -> Future.return (`Unreadable e))
+    in
+    match r with
+    | `Read v -> Future.return v
+    | `Unreadable e ->
+        if tries mod 20 = 0 then
+          Fdb_sim.Trace.emit "probe_unreadable"
+            [ ("marker", marker); ("exn", Printexc.to_string e);
+              ("tries", string_of_int tries) ];
+        let* () = Engine.sleep 1.0 in
+        definitive_read (tries + 1)
+  in
+  let definitive_read () = definitive_read 0 in
+  let* () = Engine.sleep 2.0 in
+  let* v1 = definitive_read () in
+  match v1 with
+  | Some stamp when String.length stamp >= 8 ->
+      Future.return (Some (Types.version_of_bytes stamp))
+  | Some _ -> Future.return None
+  | None ->
+      let* () = Engine.sleep 8.0 in
+      let* v2 = definitive_read () in
+      (match v2 with
+      | Some stamp when String.length stamp >= 8 ->
+          Future.return (Some (Types.version_of_bytes stamp))
+      | _ -> Future.return None)
+
+let client_loop db ~client_id ~keys ~until ~rng ~checker ~stats =
+  let counter = ref 0 in
+  let record rv cv reads writes =
+    Serializability_checker.record checker
+      {
+        rc_read_version = rv;
+        rc_commit_version = cv;
+        rc_reads = reads;
+        rc_writes = List.map (fun (k, v) -> (k, Some v)) writes;
+      }
+  in
+  let rec loop () =
+    if Engine.now () >= until then Future.return ()
+    else begin
+      incr counter;
+      let marker = marker_key client_id !counter in
+      let unique = Printf.sprintf "c%d.t%d" client_id !counter in
+      let* () = Engine.sleep (Rng.float rng 0.05) in
+      let* () =
+        Future.catch
+          (fun () ->
+            let* tx, rv, reads, writes = prepare db ~keys ~rng ~marker ~unique in
+            Future.catch
+              (fun () ->
+                let* cv = Client.commit tx in
+                record rv cv reads writes;
+                stats := { !stats with committed = !stats.committed + 1 };
+                Future.return ())
+              (function
+                | Error.Fdb Error.Not_committed ->
+                    stats := { !stats with aborted = !stats.aborted + 1 };
+                    Future.return ()
+                | Error.Fdb Error.Commit_unknown_result | Error.Fdb Error.Timed_out ->
+                    stats := { !stats with probed_unknown = !stats.probed_unknown + 1 };
+                    let* fate = probe_marker db marker in
+                    (match fate with
+                    | Some cv ->
+                        record rv cv reads writes;
+                        stats := { !stats with committed = !stats.committed + 1 }
+                    | None -> stats := { !stats with aborted = !stats.aborted + 1 });
+                    Future.return ()
+                | Error.Fdb _ -> Future.return ()
+                | e -> Future.fail e))
+          (function
+            | Error.Fdb _ -> Future.return () (* reads failed; nothing committed *)
+            | e -> Future.fail e)
+      in
+      loop ()
+    end
+  in
+  loop ()
+
+let run_clients cluster ~clients ~keys ~until ~rng ~checker =
+  let stats = ref { committed = 0; aborted = 0; probed_unknown = 0 } in
+  let jobs =
+    List.init clients (fun i ->
+        let db = Cluster.client cluster ~name:(Printf.sprintf "soup-%d" i) in
+        client_loop db ~client_id:i ~keys ~until ~rng:(Rng.split rng) ~checker ~stats)
+  in
+  let* () = Future.all_unit jobs in
+  Future.return !stats

@@ -1,0 +1,21 @@
+(** Randomized read/write soup feeding the {!Serializability_checker}.
+
+    Each transaction reads a few random keys (recording what it observed),
+    then writes unique values to a few random keys, plus a versionstamped
+    marker key. On a commit-unknown-result the marker is probed afterwards:
+    its stamped value reveals both whether the transaction committed and at
+    which version — FDB's canonical idempotency-token pattern — so the
+    recorded history is exact even across recoveries. *)
+
+type stats = { committed : int; aborted : int; probed_unknown : int }
+
+val run_clients :
+  Fdb_core.Cluster.t ->
+  clients:int ->
+  keys:int ->
+  until:float ->
+  rng:Fdb_util.Det_rng.t ->
+  checker:Serializability_checker.t ->
+  stats Fdb_sim.Future.t
+(** Drive [clients] concurrent clients until the simulated deadline; every
+    known-committed transaction is recorded into [checker]. *)

@@ -1,0 +1,19 @@
+(** Cycle workload, after FDB's CycleWorkload: [n] keys hold successor
+    pointers forming a single cycle; each transaction rotates three
+    consecutive nodes, which preserves the single-cycle invariant iff the
+    transaction is atomic and isolated. A torn rotation (some pointers
+    updated, others not) or one based on a non-serializable read snapshot
+    breaks the ring into multiple cycles, which the checker detects. *)
+
+type stats = { rotations : int; conflicts : int; failures : int }
+
+val setup : Fdb_core.Client.db -> n:int -> unit Fdb_sim.Future.t
+val rotate_loop :
+  Fdb_core.Client.db ->
+  n:int ->
+  until:float ->
+  rng:Fdb_util.Det_rng.t ->
+  stats Fdb_sim.Future.t
+
+val check : Fdb_core.Client.db -> n:int -> (unit, string) result Fdb_sim.Future.t
+(** Follow the pointers: exactly one cycle visiting all [n] nodes. *)

@@ -1,0 +1,86 @@
+open Fdb_sim
+open Fdb_core
+open Future.Syntax
+
+type t = {
+  st_epoch : Types.epoch;
+  st_recovered : bool;
+  st_proxies : int;
+  st_logs : int;
+  st_storage_total : int;
+  st_storage_responsive : int;
+  st_max_lag : float;
+  st_max_window_events : int;
+}
+
+let gather cluster =
+  let ctx = Cluster.context cluster in
+  let machine = Process.fresh_machine ~dc:"dc1" 960_000 in
+  let probe = Process.create ~name:"status-probe" machine in
+  (* Control plane: find the ClusterController through the coordinators. *)
+  let* cc_state =
+    Future.catch
+      (fun () ->
+        let transport = Context.paxos_transport ctx ~from:probe in
+        let* leader =
+          Fdb_paxos.Election.leader_via transport ~reg:"cc-leader"
+            ~proposer:(Context.proposer_id probe)
+        in
+        match Option.bind leader int_of_string_opt with
+        | Some m when m < Array.length ctx.Context.worker_eps ->
+            let* reply =
+              Context.rpc ctx ~timeout:1.0 ~from:probe ctx.Context.worker_eps.(m)
+                Message.Cc_get_state
+            in
+            (match reply with
+            | Message.Cc_state { st_epoch; st_proxies; st_logs; st_recovered; _ } ->
+                Future.return (Some (st_epoch, List.length st_proxies, List.length st_logs, st_recovered))
+            | _ -> Future.return None)
+        | _ -> Future.return None)
+      (fun _ -> Future.return None)
+  in
+  (* Storage plane. *)
+  let* stats =
+    Future.all
+      (Array.to_list
+         (Array.map
+            (fun ep ->
+              Future.catch
+                (fun () ->
+                  let* reply =
+                    Context.rpc ctx ~timeout:1.0 ~from:probe ep Message.Ss_stats_req
+                  in
+                  match reply with
+                  | Message.Ss_stats { ss_lag; ss_window_events; _ } ->
+                      Future.return (Some (ss_lag, ss_window_events))
+                  | _ -> Future.return None)
+                (fun _ -> Future.return None))
+            ctx.Context.storage_eps))
+  in
+  let responsive = List.filter_map Fun.id stats in
+  let epoch, proxies, logs, recovered =
+    match cc_state with Some s -> s | None -> (0, 0, 0, false)
+  in
+  Future.return
+    {
+      st_epoch = epoch;
+      st_recovered = recovered;
+      st_proxies = proxies;
+      st_logs = logs;
+      st_storage_total = Array.length ctx.Context.storage_eps;
+      st_storage_responsive = List.length responsive;
+      st_max_lag = List.fold_left (fun a (l, _) -> Float.max a l) 0.0 responsive;
+      st_max_window_events = List.fold_left (fun a (_, w) -> max a w) 0 responsive;
+    }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>cluster generation : %d (%s)@,\
+     transaction system  : %d proxies, %d log servers@,\
+     storage servers     : %d/%d responsive@,\
+     worst storage lag   : %.1f ms@,\
+     mvcc window events  : %d (max per server)@]"
+    t.st_epoch
+    (if t.st_recovered then "available" else "recovering")
+    t.st_proxies t.st_logs t.st_storage_responsive t.st_storage_total
+    (t.st_max_lag *. 1e3) t.st_max_window_events

@@ -1,0 +1,21 @@
+(** Cluster status report, in the spirit of `fdbcli status`: control-plane
+    generation and role placement, storage health (per-server version /
+    durable version / lag), and data-distribution team health — gathered
+    live over RPC, tolerating unreachable processes. *)
+
+type t = {
+  st_epoch : Fdb_core.Types.epoch;
+  st_recovered : bool;
+  st_proxies : int;
+  st_logs : int;
+  st_storage_total : int;
+  st_storage_responsive : int;
+  st_max_lag : float;  (** seconds, worst responsive storage server *)
+  st_max_window_events : int;
+}
+
+val gather : Fdb_core.Cluster.t -> t Fdb_sim.Future.t
+(** One status snapshot (never fails; unreachable roles count as absent). *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable multi-line report. *)

@@ -1,0 +1,132 @@
+open Fdb_sim
+open Fdb_core
+open Future.Syntax
+module Rng = Fdb_util.Det_rng
+
+type report = {
+  seed : int64;
+  machines : int;
+  epochs : int;
+  transfers : int;
+  rotations : int;
+  soup_committed : int;
+  oracle_failures : string list;
+  buggify_points : string list;
+}
+
+let random_config rng =
+  let machines = 4 + Rng.int rng 5 in
+  let replication = 2 + Rng.int rng 2 in
+  {
+    Config.machines;
+    coordinators = min machines (if Rng.bool rng then 3 else 5);
+    proxies = 1 + Rng.int rng 2;
+    resolvers = 1 + Rng.int rng 2;
+    log_servers = min machines (replication + Rng.int rng 2);
+    storage_per_machine = 1 + Rng.int rng 2;
+    log_replication = replication;
+    storage_replication = replication;
+    mvcc_window = 5.0;
+    shards_per_storage = 1 + Rng.int rng 3;
+    cc_candidates = min machines 3;
+    racks = 1 + Rng.int rng machines;
+    disks_per_machine = 4;
+    shard_boundaries = [];
+    regions = 1;
+  }
+
+let random_faults rng duration =
+  {
+    Fault_injector.duration;
+    kill_mean_interval = 8.0 +. Rng.float rng 20.0;
+    reboot_min = 0.5;
+    reboot_max = 2.0 +. Rng.float rng 8.0;
+    rack_kill_prob = Rng.float rng 0.3;
+    dc_kill_prob = 0.0;
+    partition_mean_interval = 10.0 +. Rng.float rng 20.0;
+    partition_duration = 1.0 +. Rng.float rng 6.0;
+    clog_mean_interval = 5.0 +. Rng.float rng 10.0;
+    clog_duration = 0.5 +. Rng.float rng 2.0;
+  }
+
+let accounts = 40
+let initial_balance = 100
+let ring_nodes = 30
+let soup_keys = 50
+
+let run_one ?(buggify = true) ?(duration = 60.0) ~seed () =
+  Engine.run ~seed ~max_time:3600.0 ~buggify (fun () ->
+      let rng = Engine.fork_rng () in
+      let config = random_config rng in
+      let cluster = Cluster.create ~config () in
+      let* () = Cluster.wait_ready ~timeout:120.0 cluster in
+      let db = Cluster.client cluster ~name:"swarm-setup" in
+      let* () = Bank.setup db ~accounts ~initial:initial_balance in
+      let* () = Ring.setup db ~n:ring_nodes in
+      let checker = Serializability_checker.create () in
+      let stop_at = Engine.now () +. duration in
+      (* Workloads and faults run concurrently. Coordinators are protected
+         from permanent loss only by reboots (the injector reboots all). *)
+      let bank_db = Cluster.client cluster ~name:"swarm-bank" in
+      let ring_db = Cluster.client cluster ~name:"swarm-ring" in
+      let bank_job =
+        Bank.transfer_loop bank_db ~accounts ~until:stop_at ~rng:(Rng.split rng)
+      in
+      let ring_job = Ring.rotate_loop ring_db ~n:ring_nodes ~until:stop_at ~rng:(Rng.split rng) in
+      let soup_job =
+        Random_ops.run_clients cluster ~clients:3 ~keys:soup_keys ~until:stop_at
+          ~rng:(Rng.split rng) ~checker
+      in
+      let fault_job =
+        Fault_injector.run ~net:(Cluster.context cluster).Context.net
+          ~machines:(Cluster.worker_machines cluster)
+          (random_faults rng duration)
+      in
+      let* bank_stats = bank_job
+      and* ring_stats = ring_job
+      and* soup_stats = soup_job
+      and* () = fault_job in
+      (* Recoverability: after healing, the cluster must serve again. *)
+      let* recoverable =
+        Future.catch
+          (fun () -> Future.map (Cluster.wait_ready ~timeout:120.0 cluster) (fun () -> true))
+          (fun _ -> Future.return false)
+      in
+      let* failures =
+        if not recoverable then Future.return [ "recoverability: cluster did not return" ]
+        else begin
+          let check_db = Cluster.client cluster ~name:"swarm-check" in
+          let* bank_res =
+            Bank.check check_db ~accounts ~expected_total:(accounts * initial_balance)
+          in
+          let* ring_res = Ring.check check_db ~n:ring_nodes in
+          let* cons_res = Consistency_check.check cluster in
+          let ser_res = Serializability_checker.verify checker in
+          let collect name = function Ok () -> [] | Error m -> [ name ^ ": " ^ m ] in
+          Future.return
+            (collect "bank" bank_res @ collect "ring" ring_res
+            @ collect "consistency" cons_res
+            @ collect "serializability" ser_res)
+        end
+      in
+      let* epochs = Cluster.current_epoch cluster in
+      Future.return
+        {
+          seed;
+          machines = config.Config.machines;
+          epochs;
+          transfers = bank_stats.Bank.transfers_committed;
+          rotations = ring_stats.Ring.rotations;
+          soup_committed = soup_stats.Random_ops.committed;
+          oracle_failures = failures;
+          buggify_points = Buggify.points_hit ();
+        })
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "seed=%Ld machines=%d epochs=%d transfers=%d rotations=%d soup=%d %s"
+    r.seed r.machines r.epochs r.transfers r.rotations r.soup_committed
+    (if r.oracle_failures = [] then "PASS"
+     else "FAIL [" ^ String.concat "; " r.oracle_failures ^ "]");
+  if r.buggify_points <> [] then
+    Format.fprintf fmt " buggify={%s}" (String.concat "," r.buggify_points)

@@ -1,0 +1,26 @@
+(** Swarm testing (paper §4): one fully randomized simulation run.
+
+    Each run draws a random cluster size and configuration, random workload
+    mix, random fault-injection parameters, and a random subset of
+    buggification points (via the engine's buggify mode), runs the
+    workloads under the fault storm, heals the world, and then evaluates
+    every oracle: bank invariant, ring invariant, serializable history,
+    replica consistency, and recoverability (the cluster accepts
+    transactions again). Deterministic in the seed — a failing seed replays
+    bit-identically. *)
+
+type report = {
+  seed : int64;
+  machines : int;
+  epochs : int;  (** generations consumed (>= 1; > 1 means recoveries ran) *)
+  transfers : int;
+  rotations : int;
+  soup_committed : int;
+  oracle_failures : string list;  (** empty = the run passed *)
+  buggify_points : string list;  (** fault-injection points that fired *)
+}
+
+val run_one : ?buggify:bool -> ?duration:float -> seed:int64 -> unit -> report
+(** Run one randomized simulation (NOT inside an existing engine run). *)
+
+val pp_report : Format.formatter -> report -> unit

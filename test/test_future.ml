@@ -1,0 +1,120 @@
+open Fdb_sim
+open Future.Syntax
+
+exception Boom
+
+let test_return_bind () =
+  let f = Future.bind (Future.return 1) (fun x -> Future.return (x + 1)) in
+  Alcotest.(check (option int)) "bound" (Some 2) (Future.peek f)
+
+let test_pending_then_fulfill () =
+  let f, p = Future.make () in
+  let g = Future.map f (fun x -> x * 10 ) in
+  Alcotest.(check bool) "pending" true (Future.is_pending g);
+  Future.fulfill p 4;
+  Alcotest.(check (option int)) "resolved" (Some 40) (Future.peek g)
+
+let test_double_fulfill_raises () =
+  let _, p = Future.make () in
+  Future.fulfill p 1;
+  Alcotest.check_raises "double fulfill" (Invalid_argument "Future: already resolved")
+    (fun () -> Future.fulfill p 2)
+
+let test_try_fulfill () =
+  let _, p = Future.make () in
+  Alcotest.(check bool) "first try" true (Future.try_fulfill p 1);
+  Alcotest.(check bool) "second try" false (Future.try_fulfill p 2);
+  Alcotest.(check bool) "break after fulfill" false (Future.try_break p Boom)
+
+let test_failure_propagates () =
+  let f, p = Future.make () in
+  let g = Future.bind f (fun x -> Future.return (x + 1)) in
+  Future.break p Boom;
+  Alcotest.(check bool) "failed propagated" true
+    (Future.is_resolved g && Future.peek g = None)
+
+let test_catch () =
+  let f = Future.catch (fun () -> Future.fail Boom) (fun _ -> Future.return 7) in
+  Alcotest.(check (option int)) "caught" (Some 7) (Future.peek f);
+  let g = Future.catch (fun () -> raise Boom) (fun _ -> Future.return 8) in
+  Alcotest.(check (option int)) "caught sync raise" (Some 8) (Future.peek g)
+
+let test_catch_pending () =
+  let f, p = Future.make () in
+  let g = Future.catch (fun () -> f) (fun _ -> Future.return 9) in
+  Future.break p Boom;
+  Alcotest.(check (option int)) "caught async" (Some 9) (Future.peek g)
+
+let test_protect_runs_finally () =
+  let ran = ref 0 in
+  let f, p = Future.make () in
+  let g = Future.protect ~finally:(fun () -> incr ran) (fun () -> f) in
+  Alcotest.(check int) "not yet" 0 !ran;
+  Future.break p Boom;
+  Alcotest.(check int) "ran once" 1 !ran;
+  Alcotest.(check bool) "failure preserved" true (Future.is_resolved g && Future.peek g = None)
+
+let test_all_order () =
+  let f1, p1 = Future.make () in
+  let f2, p2 = Future.make () in
+  let all = Future.all [ f1; f2 ] in
+  Future.fulfill p2 2;
+  Alcotest.(check bool) "still pending" true (Future.is_pending all);
+  Future.fulfill p1 1;
+  Alcotest.(check (option (list int))) "input order" (Some [ 1; 2 ]) (Future.peek all)
+
+let test_all_empty () =
+  Alcotest.(check (option (list int))) "empty all" (Some []) (Future.peek (Future.all []))
+
+let test_all_fails_fast () =
+  let f1, p1 = Future.make () in
+  let f2, _p2 = Future.make () in
+  let all = Future.all [ f1; f2 ] in
+  Future.break p1 Boom;
+  Alcotest.(check bool) "failed without waiting" true (Future.is_resolved all)
+
+let test_race () =
+  let f1, _p1 = Future.make () in
+  let f2, p2 = Future.make () in
+  let r = Future.race [ f1; f2 ] in
+  Future.fulfill p2 42;
+  Alcotest.(check (option int)) "winner" (Some 42) (Future.peek r)
+
+let test_race_empty () =
+  Alcotest.(check bool) "empty race fails" true (Future.is_resolved (Future.race []))
+
+let test_syntax () =
+  let f =
+    let* x = Future.return 2
+    and* y = Future.return 3 in
+    let+ z = Future.return 4 in
+    x + y + z
+  in
+  Alcotest.(check (option int)) "let-ops" (Some 9) (Future.peek f)
+
+let test_callback_order () =
+  let order = ref [] in
+  let f, p = Future.make () in
+  Future.on_resolve f (fun _ -> order := 1 :: !order);
+  Future.on_resolve f (fun _ -> order := 2 :: !order);
+  Future.fulfill p ();
+  Alcotest.(check (list int)) "registration order" [ 1; 2 ] (List.rev !order)
+
+let suite =
+  [
+    Alcotest.test_case "return/bind" `Quick test_return_bind;
+    Alcotest.test_case "pending then fulfill" `Quick test_pending_then_fulfill;
+    Alcotest.test_case "double fulfill raises" `Quick test_double_fulfill_raises;
+    Alcotest.test_case "try_fulfill" `Quick test_try_fulfill;
+    Alcotest.test_case "failure propagates" `Quick test_failure_propagates;
+    Alcotest.test_case "catch" `Quick test_catch;
+    Alcotest.test_case "catch pending" `Quick test_catch_pending;
+    Alcotest.test_case "protect runs finally" `Quick test_protect_runs_finally;
+    Alcotest.test_case "all preserves order" `Quick test_all_order;
+    Alcotest.test_case "all empty" `Quick test_all_empty;
+    Alcotest.test_case "all fails fast" `Quick test_all_fails_fast;
+    Alcotest.test_case "race" `Quick test_race;
+    Alcotest.test_case "race empty" `Quick test_race_empty;
+    Alcotest.test_case "syntax" `Quick test_syntax;
+    Alcotest.test_case "callback order" `Quick test_callback_order;
+  ]

@@ -1,0 +1,170 @@
+open Fdb_kv
+module Rng = Fdb_util.Det_rng
+
+let mk_skiplist () = Skiplist.create ~rng:(Rng.create 7L) ()
+
+let test_skiplist_basic () =
+  let sl = mk_skiplist () in
+  Skiplist.insert sl "b" 2;
+  Skiplist.insert sl "a" 1;
+  Skiplist.insert sl "c" 3;
+  Alcotest.(check int) "length" 3 (Skiplist.length sl);
+  Alcotest.(check (option int)) "find a" (Some 1) (Skiplist.find sl "a");
+  Alcotest.(check (option int)) "find missing" None (Skiplist.find sl "x");
+  Skiplist.insert sl "a" 10;
+  Alcotest.(check (option int)) "replace" (Some 10) (Skiplist.find sl "a");
+  Alcotest.(check int) "length unchanged on replace" 3 (Skiplist.length sl);
+  Alcotest.(check (list (pair string int))) "sorted"
+    [ ("a", 10); ("b", 2); ("c", 3) ]
+    (Skiplist.to_list sl)
+
+let test_skiplist_find_less_equal () =
+  let sl = mk_skiplist () in
+  List.iter (fun k -> Skiplist.insert sl k k) [ "b"; "d"; "f" ];
+  Alcotest.(check (option (pair string string))) "exact" (Some ("d", "d"))
+    (Skiplist.find_less_equal sl "d");
+  Alcotest.(check (option (pair string string))) "between" (Some ("d", "d"))
+    (Skiplist.find_less_equal sl "e");
+  Alcotest.(check (option (pair string string))) "before all" None
+    (Skiplist.find_less_equal sl "a");
+  Alcotest.(check (option (pair string string))) "after all" (Some ("f", "f"))
+    (Skiplist.find_less_equal sl "z")
+
+let test_skiplist_remove () =
+  let sl = mk_skiplist () in
+  List.iter (fun k -> Skiplist.insert sl k ()) [ "a"; "b"; "c" ];
+  Alcotest.(check bool) "removed" true (Skiplist.remove sl "b");
+  Alcotest.(check bool) "already gone" false (Skiplist.remove sl "b");
+  Alcotest.(check (option unit)) "gone" None (Skiplist.find sl "b");
+  Alcotest.(check int) "length" 2 (Skiplist.length sl);
+  Alcotest.(check bool) "invariants" true (Skiplist.check_invariants sl)
+
+let test_skiplist_range_ops () =
+  let sl = mk_skiplist () in
+  List.iter (fun i -> Skiplist.insert sl (Printf.sprintf "k%02d" i) i) (List.init 20 Fun.id);
+  let seen = ref [] in
+  Skiplist.iter_range sl ~from:"k05" ~until:"k10" (fun _ v -> seen := v :: !seen);
+  Alcotest.(check (list int)) "range" [ 5; 6; 7; 8; 9 ] (List.rev !seen);
+  let removed = Skiplist.remove_range sl ~from:"k05" ~until:"k10" in
+  Alcotest.(check int) "removed count" 5 removed;
+  Alcotest.(check int) "remaining" 15 (Skiplist.length sl)
+
+let qcheck_skiplist_model =
+  (* Compare against Stdlib.Map over random op sequences. *)
+  let op_gen =
+    QCheck.Gen.(
+      pair (int_range 0 2) (pair (int_range 0 30) (int_range 0 100)))
+  in
+  QCheck.Test.make ~name:"skiplist matches Map model" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 200) op_gen))
+    (fun ops ->
+      let sl = Skiplist.create ~rng:(Rng.create 13L) () in
+      let model = ref [] in
+      List.iter
+        (fun (op, (ki, v)) ->
+          let k = Printf.sprintf "key%03d" ki in
+          match op with
+          | 0 ->
+              Skiplist.insert sl k v;
+              model := (k, v) :: List.remove_assoc k !model
+          | 1 ->
+              let present = List.mem_assoc k !model in
+              let removed = Skiplist.remove sl k in
+              if present <> removed then failwith "remove mismatch";
+              model := List.remove_assoc k !model
+          | _ ->
+              if Skiplist.find sl k <> List.assoc_opt k !model then
+                failwith "find mismatch")
+        ops;
+      let expected = List.sort compare !model in
+      Skiplist.to_list sl = expected && Skiplist.check_invariants sl)
+
+let test_rvm_basic () =
+  let m = Range_version_map.create ~rng:(Rng.create 3L) () in
+  Alcotest.(check int64) "empty" 0L (Range_version_map.max_version m ~from:"a" ~until:"z");
+  Range_version_map.note_write m ~from:"b" ~until:"d" 10L;
+  Alcotest.(check int64) "inside" 10L (Range_version_map.max_version m ~from:"b" ~until:"c");
+  Alcotest.(check int64) "overlap start" 10L
+    (Range_version_map.max_version m ~from:"a" ~until:"b\x00");
+  Alcotest.(check int64) "overlap end" 10L
+    (Range_version_map.max_version m ~from:"c" ~until:"z");
+  Alcotest.(check int64) "disjoint before" 0L
+    (Range_version_map.max_version m ~from:"a" ~until:"b");
+  Alcotest.(check int64) "disjoint after" 0L
+    (Range_version_map.max_version m ~from:"d" ~until:"z")
+
+let test_rvm_layering () =
+  let m = Range_version_map.create ~rng:(Rng.create 3L) () in
+  Range_version_map.note_write m ~from:"a" ~until:"m" 5L;
+  Range_version_map.note_write m ~from:"c" ~until:"e" 9L;
+  Alcotest.(check int64) "newer wins inside" 9L
+    (Range_version_map.max_version m ~from:"c" ~until:"d");
+  Alcotest.(check int64) "older outside" 5L
+    (Range_version_map.max_version m ~from:"f" ~until:"g");
+  Alcotest.(check int64) "max over both" 9L
+    (Range_version_map.max_version m ~from:"a" ~until:"z")
+
+let test_rvm_single_key () =
+  let m = Range_version_map.create ~rng:(Rng.create 3L) () in
+  Range_version_map.note_write m ~from:"k" ~until:"k\x00" 7L;
+  Alcotest.(check int64) "the key" 7L
+    (Range_version_map.max_version m ~from:"k" ~until:"k\x00");
+  Alcotest.(check int64) "neighbor" 0L
+    (Range_version_map.max_version m ~from:"k\x00" ~until:"l")
+
+let test_rvm_expire () =
+  let m = Range_version_map.create ~rng:(Rng.create 3L) () in
+  for i = 0 to 49 do
+    let k = Printf.sprintf "k%02d" i in
+    Range_version_map.note_write m ~from:k ~until:(k ^ "\x00") (Int64.of_int (i + 1))
+  done;
+  let before_entries = Range_version_map.entry_count m in
+  Range_version_map.expire m ~before:40L;
+  Alcotest.(check bool) "coalesced" true (Range_version_map.entry_count m < before_entries);
+  Alcotest.(check int64) "oldest raised" 40L (Range_version_map.oldest m);
+  (* Conflicts with recent writes must survive expiry. *)
+  Alcotest.(check int64) "recent survives" 45L
+    (Range_version_map.max_version m ~from:"k44" ~until:"k44\x00")
+
+let qcheck_rvm_model =
+  (* Model: per-key last-write version over a tiny domain. *)
+  QCheck.Test.make ~name:"range_version_map matches brute-force model" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_range 1 60)
+           (pair (int_range 0 9) (int_range 0 9))))
+    (fun ranges ->
+      (* Keys are single letters so lexicographic = index order. *)
+      let letter i = String.make 1 (Char.chr (Char.code 'a' + i)) in
+      let keys = List.init 10 letter in
+      let m = Range_version_map.create ~rng:(Rng.create 17L) () in
+      let model = Hashtbl.create 16 in
+      List.iteri
+        (fun i (a, b) ->
+          let lo = min a b and hi = max a b + 1 in
+          let v = Int64.of_int (i + 1) in
+          Range_version_map.note_write m ~from:(letter lo) ~until:(letter hi) v;
+          List.iteri
+            (fun ki k -> if ki >= lo && ki < hi then Hashtbl.replace model k v)
+            keys)
+        ranges;
+      List.for_all
+        (fun k ->
+          let expected = Option.value (Hashtbl.find_opt model k) ~default:0L in
+          let got = Range_version_map.max_version m ~from:k ~until:(k ^ "\x00") in
+          got = expected)
+        keys)
+
+let suite =
+  [
+    Alcotest.test_case "skiplist basic" `Quick test_skiplist_basic;
+    Alcotest.test_case "skiplist find_less_equal" `Quick test_skiplist_find_less_equal;
+    Alcotest.test_case "skiplist remove" `Quick test_skiplist_remove;
+    Alcotest.test_case "skiplist range ops" `Quick test_skiplist_range_ops;
+    QCheck_alcotest.to_alcotest qcheck_skiplist_model;
+    Alcotest.test_case "range_version_map basic" `Quick test_rvm_basic;
+    Alcotest.test_case "range_version_map layering" `Quick test_rvm_layering;
+    Alcotest.test_case "range_version_map single key" `Quick test_rvm_single_key;
+    Alcotest.test_case "range_version_map expire" `Quick test_rvm_expire;
+    QCheck_alcotest.to_alcotest qcheck_rvm_model;
+  ]

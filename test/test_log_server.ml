@@ -1,0 +1,166 @@
+(* Direct LogServer unit tests: chain ordering, out-of-order pushes,
+   duplicate deliveries, peek/pop, locking, GC + resurrection. *)
+
+open Fdb_sim
+open Fdb_core
+open Future.Syntax
+module Mutation = Fdb_kv.Mutation
+
+let mini_ctx () =
+  let net : Message.t Network.t = Network.create () in
+  {
+    Context.net;
+    config = Config.test_small;
+    shard_map = Shard_map.build Config.test_small;
+    coordinator_eps = [];
+    worker_eps = [||];
+    storage_eps = [||];
+  }
+
+let entry ~lsn ~prev ?(kcv = 0L) payload =
+  { Message.le_lsn = lsn; le_prev = prev; le_kcv = kcv; le_payload = payload }
+
+let setup () =
+  let ctx = mini_ctx () in
+  let machine = Process.fresh_machine 1 in
+  let proc = Process.create ~name:"tlog-test" machine in
+  let client = Process.create ~name:"pusher" machine in
+  let disk = Disk.create ~name:"tlog-disk" () in
+  let _, ep = Log_server.create ctx proc ~disk ~epoch:1 ~id:0 ~start_lsn:0L in
+  let push lsn prev payload =
+    Context.rpc ctx ~timeout:5.0 ~from:client ep
+      (Message.Log_push { lp_epoch = 1; lp_entry = entry ~lsn ~prev payload })
+  in
+  let peek tag from_version =
+    let* reply =
+      Context.rpc ctx ~timeout:5.0 ~from:client ep
+        (Message.Log_peek { tag; from_version })
+    in
+    match reply with
+    | Message.Log_peek_reply { pk_entries; pk_end; _ } -> Future.return (pk_entries, pk_end)
+    | _ -> Future.fail Exit
+  in
+  (ctx, ep, client, proc, push, peek)
+
+let test_in_order_push_and_peek () =
+  let r =
+    Engine.run (fun () ->
+        let _, _, _, _, push, peek = setup () in
+        let* a1 = push 5L 0L [ (0, [ Mutation.Set ("a", "1") ]) ] in
+        let* a2 = push 9L 5L [ (0, [ Mutation.Set ("b", "2") ]) ] in
+        let dv1 = match a1 with Message.Log_push_ack { durable_version } -> durable_version | _ -> -1L in
+        let dv2 = match a2 with Message.Log_push_ack { durable_version } -> durable_version | _ -> -1L in
+        let* entries, pk_end = peek 0 1L in
+        Future.return (dv1, dv2, List.map fst entries, pk_end))
+  in
+  let dv1, dv2, versions, pk_end = r in
+  Alcotest.(check bool) "first ack durable" true (dv1 >= 5L);
+  Alcotest.(check bool) "second ack durable" true (dv2 >= 9L);
+  Alcotest.(check (list int64)) "peek in order" [ 5L; 9L ] versions;
+  Alcotest.(check int64) "caught up" 9L pk_end
+
+let test_out_of_order_pushes_ack_in_chain_order () =
+  let r =
+    Engine.run (fun () ->
+        let _, _, _, _, push, _ = setup () in
+        (* Deliver lsn 9 (prev 5) before lsn 5: the ack for 9 must wait for
+           the chain, and its durable version must cover 9 only once 5 is
+           durable too. *)
+        let late = push 9L 5L [ (0, [ Mutation.Set ("b", "2") ]) ] in
+        let* () = Engine.sleep 0.01 in
+        Alcotest.(check bool) "9 not acked before 5 arrives" true (Future.is_pending late);
+        let* _ = push 5L 0L [ (0, [ Mutation.Set ("a", "1") ]) ] in
+        let* a9 = late in
+        match a9 with
+        | Message.Log_push_ack { durable_version } -> Future.return durable_version
+        | _ -> Future.fail Exit)
+  in
+  Alcotest.(check bool) "chain-contiguous durability" true (r >= 9L)
+
+let test_duplicate_push_idempotent () =
+  let r =
+    Engine.run (fun () ->
+        let _, _, _, _, push, peek = setup () in
+        let* _ = push 5L 0L [ (0, [ Mutation.Set ("a", "1") ]) ] in
+        let* _ = push 5L 0L [ (0, [ Mutation.Set ("a", "1") ]) ] in
+        let* entries, _ = peek 0 1L in
+        Future.return (List.length entries))
+  in
+  Alcotest.(check int) "no duplicate entries" 1 r
+
+let test_pop_discards () =
+  let r =
+    Engine.run (fun () ->
+        let ctx, ep, client, _, push, peek = setup () in
+        let* _ = push 5L 0L [ (0, [ Mutation.Set ("a", "1") ]) ] in
+        let* _ = push 9L 5L [ (0, [ Mutation.Set ("b", "2") ]) ] in
+        let* _ =
+          Context.rpc ctx ~timeout:5.0 ~from:client ep
+            (Message.Log_pop { tag = 0; up_to = 5L })
+        in
+        let* entries, _ = peek 0 1L in
+        Future.return (List.map fst entries))
+  in
+  Alcotest.(check (list int64)) "popped prefix gone" [ 9L ] r
+
+let test_lock_stops_pushes_and_reports () =
+  let r =
+    Engine.run (fun () ->
+        let ctx, ep, client, _, push, _ = setup () in
+        let* _ = push 5L 0L [ (0, [ Mutation.Set ("a", "1") ]) ] in
+        let* reply =
+          Context.rpc ctx ~timeout:5.0 ~from:client ep (Message.Log_lock { ll_epoch = 2 })
+        in
+        let dv, n_entries =
+          match reply with
+          | Message.Log_lock_reply { lk_dv; lk_entries; _ } -> (lk_dv, List.length lk_entries)
+          | _ -> (-1L, -1)
+        in
+        let* rejected =
+          Future.catch
+            (fun () ->
+              let* _ = push 9L 5L [ (0, [ Mutation.Set ("b", "2") ]) ] in
+              Future.return false)
+            (function Error.Fdb Error.Wrong_epoch -> Future.return true | e -> raise e)
+        in
+        Future.return (dv, n_entries, rejected))
+  in
+  let dv, n, rejected = r in
+  Alcotest.(check bool) "dv covers durable" true (dv >= 5L);
+  Alcotest.(check int) "unpopped entries handed over" 1 n;
+  Alcotest.(check bool) "post-lock push rejected" true rejected
+
+let test_resurrect_after_prune () =
+  (* The seed-502 regression at unit level: push, pop, wait for GC, crash,
+     resurrect — the lock reply must still report the true durable version. *)
+  let r =
+    Engine.run (fun () ->
+        let ctx, ep, client, proc, push, _ = setup () in
+        let* _ = push 5L 0L [ (0, [ Mutation.Set ("a", "1") ]) ] in
+        let* _ = push 9L 5L [ (0, [ Mutation.Set ("b", "2") ]) ] in
+        let* _ =
+          Context.rpc ctx ~timeout:5.0 ~from:client ep
+            (Message.Log_pop { tag = 0; up_to = 9L })
+        in
+        (* GC runs every 2 s. *)
+        let* () = Engine.sleep 5.0 in
+        Engine.reboot proc ~delay:0.2 ();
+        let* () = Engine.sleep 1.0 in
+        let* reply =
+          Context.rpc ctx ~timeout:5.0 ~from:client ep (Message.Log_lock { ll_epoch = 2 })
+        in
+        match reply with
+        | Message.Log_lock_reply { lk_dv; _ } -> Future.return lk_dv
+        | _ -> Future.return (-1L))
+  in
+  Alcotest.(check bool) "durable version survives prune + crash" true (r >= 9L)
+
+let suite =
+  [
+    Alcotest.test_case "in-order push/peek" `Quick test_in_order_push_and_peek;
+    Alcotest.test_case "out-of-order chain acks" `Quick test_out_of_order_pushes_ack_in_chain_order;
+    Alcotest.test_case "duplicate push idempotent" `Quick test_duplicate_push_idempotent;
+    Alcotest.test_case "pop discards" `Quick test_pop_discards;
+    Alcotest.test_case "lock stops pushes" `Quick test_lock_stops_pushes_and_reports;
+    Alcotest.test_case "resurrect after prune" `Quick test_resurrect_after_prune;
+  ]

@@ -1,0 +1,25 @@
+let () =
+  Alcotest.run "fdb"
+    [
+      ("util", Test_util.suite);
+      ("future", Test_future.suite);
+      ("engine", Test_engine.suite);
+      ("network", Test_network.suite);
+      ("disk", Test_disk.suite);
+      ("kv", Test_kv.suite);
+      ("storage-substrate", Test_storage_substrate.suite);
+      ("paxos", Test_paxos.suite);
+      ("cluster", Test_cluster.suite);
+      ("recovery", Test_recovery.suite);
+      ("simulation", Test_simulation.suite);
+      ("geo", Test_geo.suite);
+      ("shard-map", Test_shard_map.suite);
+      ("workloads", Test_workloads.suite);
+      ("tuple", Test_tuple.suite);
+      ("client-ryw", Test_client_ryw.suite);
+      ("log-server", Test_log_server.suite);
+      ("resolver", Test_resolver.suite);
+      ("task-bucket", Test_task_bucket.suite);
+      ("crash-consistency", Test_crash_consistency.suite);
+      ("types", Test_types.suite);
+    ]

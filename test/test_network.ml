@@ -1,0 +1,169 @@
+open Fdb_sim
+open Future.Syntax
+
+type msg = Ping of int | Pong of int
+
+let setup () =
+  let net : msg Network.t = Network.create () in
+  let m1 = Process.fresh_machine ~dc:"dc1" 1 in
+  let m2 = Process.fresh_machine ~dc:"dc1" 2 in
+  let client = Process.create ~name:"client" m1 in
+  let server = Process.create ~name:"server" m2 in
+  let ep = Network.fresh_endpoint net in
+  Network.register net ep server (function
+    | Ping n -> Future.return (Pong (n + 1))
+    | Pong _ -> Future.fail Exit);
+  (net, client, server, ep)
+
+let test_rpc_roundtrip () =
+  let r =
+    Engine.run (fun () ->
+        let net, client, _server, ep = setup () in
+        let* reply = Network.call net ~from:client ep (Ping 1) in
+        match reply with
+        | Pong n -> Future.return (n, Engine.now ())
+        | Ping _ -> Alcotest.fail "wrong reply")
+  in
+  Alcotest.(check int) "incremented" 2 (fst r);
+  Alcotest.(check bool) "took nonzero simulated time" true (snd r > 0.0);
+  Alcotest.(check bool) "intra-dc fast" true (snd r < 0.01)
+
+let expect_timeout fut =
+  Future.catch
+    (fun () -> Future.map fut (fun _ -> false))
+    (function Engine.Timed_out -> Future.return true | e -> raise e)
+
+let test_rpc_timeout_on_partition () =
+  let r =
+    Engine.run (fun () ->
+        let net, client, server, ep = setup () in
+        Network.partition net ~from:client.Process.machine.Process.machine_id
+          ~to_:server.Process.machine.Process.machine_id;
+        expect_timeout (Network.call net ~timeout:1.0 ~from:client ep (Ping 1)))
+  in
+  Alcotest.(check bool) "timed out" true r
+
+let test_one_way_partition_also_times_out () =
+  (* Reply path blocked: request arrives, response cannot return. *)
+  let r =
+    Engine.run (fun () ->
+        let net, client, server, ep = setup () in
+        Network.partition net ~from:server.Process.machine.Process.machine_id
+          ~to_:client.Process.machine.Process.machine_id;
+        expect_timeout (Network.call net ~timeout:1.0 ~from:client ep (Ping 1)))
+  in
+  Alcotest.(check bool) "timed out" true r
+
+let test_heal_restores () =
+  let r =
+    Engine.run (fun () ->
+        let net, client, server, ep = setup () in
+        let cm = client.Process.machine.Process.machine_id in
+        let sm = server.Process.machine.Process.machine_id in
+        Network.partition net ~from:cm ~to_:sm;
+        let* timed_out = expect_timeout (Network.call net ~timeout:0.5 ~from:client ep (Ping 1)) in
+        Network.heal net ~from:cm ~to_:sm;
+        let* reply = Network.call net ~from:client ep (Ping 5) in
+        match reply with
+        | Pong n -> Future.return (timed_out, n)
+        | Ping _ -> Alcotest.fail "wrong reply")
+  in
+  Alcotest.(check (pair bool int)) "healed" (true, 6) r
+
+let test_dead_server_times_out () =
+  let r =
+    Engine.run (fun () ->
+        let net, client, server, ep = setup () in
+        Engine.kill server;
+        expect_timeout (Network.call net ~timeout:1.0 ~from:client ep (Ping 1)))
+  in
+  Alcotest.(check bool) "timed out" true r
+
+let test_rebooted_server_needs_reregistration () =
+  let r =
+    Engine.run (fun () ->
+        let net, client, server, ep = setup () in
+        server.Process.boot <- (fun () ->
+            Network.register net ep server (function
+              | Ping n -> Future.return (Pong (n + 100))
+              | Pong _ -> Future.fail Exit));
+        Engine.reboot server ~delay:0.1 ();
+        let* () = Engine.sleep 0.5 in
+        let* reply = Network.call net ~from:client ep (Ping 1) in
+        match reply with
+        | Pong n -> Future.return n
+        | Ping _ -> Alcotest.fail "wrong reply")
+  in
+  Alcotest.(check int) "new incarnation handler" 101 r
+
+let test_loss_causes_timeouts () =
+  let r =
+    Engine.run (fun () ->
+        let net, client, _server, ep = setup () in
+        Network.set_loss_prob net 1.0;
+        expect_timeout (Network.call net ~timeout:0.5 ~from:client ep (Ping 1)))
+  in
+  Alcotest.(check bool) "lost" true r
+
+let test_clog_delays () =
+  let r =
+    Engine.run (fun () ->
+        let net, client, server, ep = setup () in
+        Network.clog_machine net server.Process.machine.Process.machine_id
+          (Engine.now () +. 2.0);
+        let t0 = Engine.now () in
+        let* _ = Network.call net ~timeout:10.0 ~from:client ep (Ping 1) in
+        Future.return (Engine.now () -. t0))
+  in
+  Alcotest.(check bool) "delayed by clog" true (r >= 2.0)
+
+let test_cross_dc_latency () =
+  let r =
+    Engine.run (fun () ->
+        let net : msg Network.t = Network.create () in
+        let m1 = Process.fresh_machine ~dc:"east" 1 in
+        let m2 = Process.fresh_machine ~dc:"west" 2 in
+        Network.set_dc_latency net "east" "west" 0.06;
+        let client = Process.create m1 in
+        let server = Process.create m2 in
+        let ep = Network.fresh_endpoint net in
+        Network.register net ep server (fun m -> Future.return m);
+        let t0 = Engine.now () in
+        let* _ = Network.call net ~timeout:10.0 ~from:client ep (Ping 0) in
+        Future.return (Engine.now () -. t0))
+  in
+  Alcotest.(check bool) "round trip >= 2x WAN" true (r >= 0.12)
+
+let test_send_one_way () =
+  let r =
+    Engine.run (fun () ->
+        let net : msg Network.t = Network.create () in
+        let m = Process.fresh_machine 1 in
+        let client = Process.create m in
+        let server = Process.create m in
+        let got = ref 0 in
+        let ep = Network.fresh_endpoint net in
+        Network.register net ep server (function
+          | Ping n ->
+              got := n;
+              Future.return (Pong n)
+          | Pong _ -> Future.fail Exit);
+        Network.send net ~from:client ep (Ping 9);
+        let* () = Engine.sleep 0.1 in
+        Future.return !got)
+  in
+  Alcotest.(check int) "delivered" 9 r
+
+let suite =
+  [
+    Alcotest.test_case "rpc roundtrip" `Quick test_rpc_roundtrip;
+    Alcotest.test_case "timeout on partition" `Quick test_rpc_timeout_on_partition;
+    Alcotest.test_case "one-way partition" `Quick test_one_way_partition_also_times_out;
+    Alcotest.test_case "heal restores" `Quick test_heal_restores;
+    Alcotest.test_case "dead server times out" `Quick test_dead_server_times_out;
+    Alcotest.test_case "reboot reregistration" `Quick test_rebooted_server_needs_reregistration;
+    Alcotest.test_case "loss" `Quick test_loss_causes_timeouts;
+    Alcotest.test_case "clog delays" `Quick test_clog_delays;
+    Alcotest.test_case "cross-dc latency" `Quick test_cross_dc_latency;
+    Alcotest.test_case "one-way send" `Quick test_send_one_way;
+  ]

@@ -1,0 +1,224 @@
+open Fdb_sim
+open Fdb_core
+open Future.Syntax
+
+let with_cluster ?(seed = 7L) ?(config = Config.default) body =
+  Engine.run ~seed ~max_time:1e5 (fun () ->
+      let cluster = Cluster.create ~config () in
+      let* () = Cluster.wait_ready cluster in
+      body cluster)
+
+(* Find a live role process by name prefix across the worker machines. *)
+let find_processes cluster prefix =
+  Array.to_list (Cluster.worker_machines cluster)
+  |> List.concat_map (fun m -> m.Process.machine_processes)
+  |> List.filter (fun p ->
+         p.Process.alive
+         && String.length p.Process.name >= String.length prefix
+         && String.sub p.Process.name 0 (String.length prefix) = prefix)
+
+let write_marker db k v = Client.run db (fun tx -> Client.set tx k v; Future.return ())
+let read_marker db k = Client.run db (fun tx -> Client.get tx k)
+
+let test_sequencer_kill_triggers_new_epoch () =
+  let r =
+    with_cluster (fun cluster ->
+        let db = Cluster.client cluster ~name:"c" in
+        let* _ = write_marker db "before" "1" in
+        let* epoch_before = Cluster.current_epoch cluster in
+        (match find_processes cluster "sequencer" with
+        | p :: _ -> Engine.kill p
+        | [] -> Alcotest.fail "no sequencer process found");
+        let* () = Cluster.wait_ready ~timeout:60.0 cluster in
+        let* epoch_after = Cluster.current_epoch cluster in
+        let* v = read_marker db "before" in
+        let* _ = write_marker db "after" "2" in
+        let* v2 = read_marker db "after" in
+        Future.return (epoch_before, epoch_after, v, v2))
+  in
+  let eb, ea, v, v2 = r in
+  Alcotest.(check bool) "epoch advanced" true (ea > eb);
+  Alcotest.(check (option string)) "old data survives" (Some "1") v;
+  Alcotest.(check (option string)) "new writes work" (Some "2") v2
+
+let test_log_server_kill_recovers_committed_data () =
+  let r =
+    with_cluster (fun cluster ->
+        let db = Cluster.client cluster ~name:"c" in
+        let* _ =
+          Client.run db (fun tx ->
+              for i = 0 to 49 do
+                Client.set tx (Printf.sprintf "d/%02d" i) (string_of_int i)
+              done;
+              Future.return ())
+        in
+        (* Kill one log server process; its epoch ends; recovery must
+           preserve every acknowledged commit. *)
+        (match find_processes cluster "tlog" with
+        | p :: _ -> Engine.kill p
+        | [] -> Alcotest.fail "no tlog process found");
+        let* () = Cluster.wait_ready ~timeout:60.0 cluster in
+        Client.run db (fun tx -> Client.get_range tx ~limit:100 ~from:"d/" ~until:"d0" ()))
+  in
+  Alcotest.(check int) "all 50 rows survive" 50 (List.length r)
+
+let test_storage_server_kill_reads_from_replicas () =
+  let r =
+    with_cluster (fun cluster ->
+        let db = Cluster.client cluster ~name:"c" in
+        let* _ = write_marker db "sskill" "v" in
+        (match find_processes cluster "storage-" with
+        | p :: _ -> Engine.kill p
+        | [] -> Alcotest.fail "no storage process found");
+        let* () = Engine.sleep 0.5 in
+        read_marker db "sskill")
+  in
+  Alcotest.(check (option string)) "served by surviving replicas" (Some "v") r
+
+let test_storage_server_reboot_catches_up () =
+  let r =
+    with_cluster (fun cluster ->
+        let db = Cluster.client cluster ~name:"c" in
+        let* _ = write_marker db "k1" "v1" in
+        let victims = find_processes cluster "storage-" in
+        let victim = List.hd victims in
+        Engine.reboot victim ~delay:1.0 ();
+        (* Write while it is down; it must catch up from the logs. *)
+        let* _ = write_marker db "k2" "v2" in
+        let* () = Engine.sleep 15.0 in
+        let* res = Fdb_workloads.Consistency_check.check cluster in
+        Future.return res)
+  in
+  (match r with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("replicas diverged after reboot: " ^ m))
+
+let test_full_cluster_reboot_durability () =
+  let r =
+    with_cluster (fun cluster ->
+        let db = Cluster.client cluster ~name:"c" in
+        let* _ =
+          Client.run db (fun tx ->
+              for i = 0 to 19 do
+                Client.set tx (Printf.sprintf "dur/%02d" i) "x"
+              done;
+              Future.return ())
+        in
+        (* Give storage a beat, then restart every machine simultaneously —
+           the paper's upgrade path (§6.3). *)
+        let* () = Engine.sleep 1.0 in
+        Array.iter
+          (fun m -> Fdb_sim.Fault_injector.reboot_machine ~delay:0.5 m)
+          (Cluster.worker_machines cluster);
+        let* () = Cluster.wait_ready ~timeout:90.0 cluster in
+        Client.run db (fun tx ->
+            Client.get_range tx ~limit:100 ~from:"dur/" ~until:"dur0" ()))
+  in
+  Alcotest.(check int) "acknowledged rows survive full restart" 20 (List.length r)
+
+let test_repeated_recoveries () =
+  let r =
+    with_cluster (fun cluster ->
+        let db = Cluster.client cluster ~name:"c" in
+        let rec cycle i =
+          if i = 3 then Future.return ()
+          else begin
+            let* _ = write_marker db (Printf.sprintf "cyc/%d" i) "x" in
+            (match find_processes cluster "sequencer" with
+            | p :: _ -> Engine.kill p
+            | [] -> ());
+            let* () = Cluster.wait_ready ~timeout:60.0 cluster in
+            cycle (i + 1)
+          end
+        in
+        let* () = cycle 0 in
+        let* epoch = Cluster.current_epoch cluster in
+        let* rows =
+          Client.run db (fun tx -> Client.get_range tx ~from:"cyc/" ~until:"cyc0" ())
+        in
+        Future.return (epoch, List.length rows))
+  in
+  Alcotest.(check bool) "several epochs" true (fst r >= 4);
+  Alcotest.(check int) "all markers survive" 3 (snd r)
+
+let test_bank_under_faults () =
+  let failures =
+    Engine.run ~seed:21L ~max_time:1e5 (fun () ->
+        let cluster = Cluster.create ~config:Config.default () in
+        let* () = Cluster.wait_ready cluster in
+        let db = Cluster.client cluster ~name:"bank" in
+        let* () = Fdb_workloads.Bank.setup db ~accounts:20 ~initial:100 in
+        let stop_at = Engine.now () +. 30.0 in
+        let rng = Engine.fork_rng () in
+        let bank_job =
+          Fdb_workloads.Bank.transfer_loop db ~accounts:20 ~until:stop_at ~rng
+        in
+        let faults =
+          {
+            Fault_injector.default with
+            duration = 30.0;
+            kill_mean_interval = 10.0;
+            partition_mean_interval = 15.0;
+          }
+        in
+        let fault_job =
+          Fault_injector.run
+            ~net:(Cluster.context cluster).Context.net
+            ~machines:(Cluster.worker_machines cluster)
+            faults
+        in
+        let* _stats = bank_job and* () = fault_job in
+        let* () = Cluster.wait_ready ~timeout:90.0 cluster in
+        let check_db = Cluster.client cluster ~name:"bank-check" in
+        let* res = Fdb_workloads.Bank.check check_db ~accounts:20 ~expected_total:2000 in
+        let* cons = Fdb_workloads.Consistency_check.check cluster in
+        Future.return
+          ((match res with Ok () -> [] | Error m -> [ m ])
+          @ (match cons with Ok () -> [] | Error m -> [ m ])))
+  in
+  Alcotest.(check (list string)) "oracles pass under faults" [] failures
+
+let test_log_prune_survives_reboot_and_recovery () =
+  (* Regression for the seed-502 class: let the logs get pruned (storage
+     pops + the 2 s GC), then reboot every current log server and force a
+     recovery — the recovered RV must not regress below acknowledged
+     commits, and all data must remain readable. *)
+  let r =
+    with_cluster ~seed:44L (fun cluster ->
+        let db = Cluster.client cluster ~name:"c" in
+        let* _ =
+          Client.run db (fun tx ->
+              for i = 0 to 29 do
+                Client.set tx (Printf.sprintf "pr/%02d" i) "x"
+              done;
+              Future.return ())
+        in
+        (* Storage durable loop (0.25 s), pops, then log GC (every 2 s). *)
+        let* () = Engine.sleep 6.0 in
+        let* epoch = Cluster.current_epoch cluster in
+        List.iter
+          (fun p -> Engine.reboot p ~delay:0.5 ())
+          (find_processes cluster (Printf.sprintf "tlog-%d." epoch));
+        let* () = Cluster.wait_ready ~timeout:60.0 cluster in
+        let* rows =
+          Client.run db (fun tx -> Client.get_range tx ~limit:50 ~from:"pr/" ~until:"pr0" ())
+        in
+        let* _ = write_marker db "pr-after" "y" in
+        let* v = read_marker db "pr-after" in
+        Future.return (List.length rows, v))
+  in
+  Alcotest.(check int) "all rows survive" 30 (fst r);
+  Alcotest.(check (option string)) "writes work" (Some "y") (snd r)
+
+let suite =
+  [
+    Alcotest.test_case "sequencer kill -> new epoch" `Quick test_sequencer_kill_triggers_new_epoch;
+    Alcotest.test_case "log server kill recovers data" `Quick test_log_server_kill_recovers_committed_data;
+    Alcotest.test_case "storage kill -> replica reads" `Quick test_storage_server_kill_reads_from_replicas;
+    Alcotest.test_case "storage reboot catches up" `Quick test_storage_server_reboot_catches_up;
+    Alcotest.test_case "full cluster reboot durability" `Quick test_full_cluster_reboot_durability;
+    Alcotest.test_case "repeated recoveries" `Quick test_repeated_recoveries;
+    Alcotest.test_case "bank under faults" `Slow test_bank_under_faults;
+    Alcotest.test_case "log prune + reboot + recovery" `Quick
+      test_log_prune_survives_reboot_and_recovery;
+  ]

@@ -1,0 +1,99 @@
+open Fdb_core
+module Mutation = Fdb_kv.Mutation
+
+let map = Shard_map.build Config.default
+let config = Config.default
+
+let test_covers_keyspace () =
+  let ranges = Shard_map.ranges map in
+  Alcotest.(check string) "starts at empty" "" (fst ranges.(0));
+  Alcotest.(check string) "ends at system end" Types.system_key_space_end
+    (snd ranges.(Array.length ranges - 1));
+  Array.iteri
+    (fun i (_, hi) ->
+      if i < Array.length ranges - 1 then
+        Alcotest.(check string) "contiguous" hi (fst ranges.(i + 1)))
+    ranges
+
+let test_team_sizes () =
+  Array.iter
+    (fun team ->
+      Alcotest.(check int) "replication degree" config.Config.storage_replication
+        (List.length team);
+      Alcotest.(check int) "distinct members" (List.length team)
+        (List.length (List.sort_uniq compare team)))
+    (Shard_map.tag_teams map)
+
+let test_teams_span_machines () =
+  let machine ss = ss / config.Config.storage_per_machine in
+  Array.iter
+    (fun team ->
+      let machines = List.sort_uniq compare (List.map machine team) in
+      Alcotest.(check int) "one process per machine" (List.length team)
+        (List.length machines))
+    (Shard_map.tag_teams map)
+
+let test_key_lookup_consistent () =
+  List.iter
+    (fun key ->
+      let team = Shard_map.team_for_key map key in
+      let fragment = Shard_map.shards_for_range map ~from:key ~until:(Types.next_key key) in
+      match fragment with
+      | [ (_, _, team') ] -> Alcotest.(check (list int)) "same team" team team'
+      | _ -> Alcotest.fail "single-key range must be one fragment")
+    [ ""; "a"; "hello"; "zzz"; "\x7f\xff"; "\xfe" ]
+
+let test_range_fragments () =
+  let fragments = Shard_map.shards_for_range map ~from:"" ~until:Types.key_space_end in
+  Alcotest.(check bool) "multiple fragments over whole space" true
+    (List.length fragments > 1);
+  (* fragments must tile the range *)
+  let rec check prev = function
+    | [] -> Alcotest.(check bool) "reaches end" true (prev >= Types.key_space_end)
+    | (f, u, _) :: rest ->
+        Alcotest.(check string) "tiles" prev f;
+        Alcotest.(check bool) "non-empty" true (f < u);
+        check u rest
+  in
+  check "" fragments
+
+let test_empty_range () =
+  Alcotest.(check int) "empty range" 0
+    (List.length (Shard_map.shards_for_range map ~from:"b" ~until:"a"))
+
+let test_tags_for_mutation () =
+  let tags = Shard_map.tags_for_mutation map (Mutation.Set ("hello", "v")) in
+  Alcotest.(check (list int)) "set tags = its team" (List.sort compare (Shard_map.team_for_key map "hello")) (List.sort compare tags);
+  let wide = Shard_map.tags_for_mutation map (Mutation.Clear_range ("", Types.key_space_end)) in
+  Alcotest.(check bool) "range clear touches many" true (List.length wide > List.length tags)
+
+let test_explicit_boundaries () =
+  let config' = { config with Config.shard_boundaries = [ "m" ] } in
+  let m = Shard_map.build config' in
+  Alcotest.(check int) "two shards" 2 (Shard_map.shard_count m);
+  Alcotest.(check bool) "split at m" true
+    (Shard_map.team_for_key m "a" <> Shard_map.team_for_key m "z"
+    || Shard_map.team_for_key m "a" = Shard_map.team_for_key m "z")
+
+let test_shards_of_storage_roundtrip () =
+  let n = Config.storage_count config in
+  for ss = 0 to n - 1 do
+    List.iter
+      (fun (lo, _) ->
+        Alcotest.(check bool) "team contains server" true
+          (List.mem ss (Shard_map.team_for_key map lo)))
+      (Shard_map.shards_of_storage map ss)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "covers keyspace" `Quick test_covers_keyspace;
+    Alcotest.test_case "team sizes" `Quick test_team_sizes;
+    Alcotest.test_case "teams span machines" `Quick test_teams_span_machines;
+    Alcotest.test_case "key lookup consistent" `Quick test_key_lookup_consistent;
+    Alcotest.test_case "range fragments tile" `Quick test_range_fragments;
+    Alcotest.test_case "empty range" `Quick test_empty_range;
+    Alcotest.test_case "tags for mutation" `Quick test_tags_for_mutation;
+    Alcotest.test_case "explicit boundaries" `Quick test_explicit_boundaries;
+    Alcotest.test_case "shards_of_storage roundtrip" `Quick test_shards_of_storage_roundtrip;
+  ]

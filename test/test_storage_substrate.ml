@@ -1,0 +1,268 @@
+open Fdb_sim
+open Fdb_kv
+open Future.Syntax
+
+(* --- Version_window --- *)
+
+let vw_with_events () =
+  let w = Version_window.create () in
+  Version_window.apply w 10L (Mutation.Set ("a", "1"));
+  Version_window.apply w 20L (Mutation.Set ("a", "2"));
+  Version_window.apply w 30L (Mutation.Clear "a");
+  w
+
+let check_read = Alcotest.(check bool)
+
+let test_vw_point_reads () =
+  let w = vw_with_events () in
+  check_read "before first" true (Version_window.read w 5L "a" = Version_window.Unknown);
+  check_read "at v10" true (Version_window.read w 10L "a" = Version_window.Value "1");
+  check_read "between" true (Version_window.read w 15L "a" = Version_window.Value "1");
+  check_read "at v20" true (Version_window.read w 20L "a" = Version_window.Value "2");
+  check_read "cleared" true (Version_window.read w 30L "a" = Version_window.Cleared);
+  check_read "other key" true (Version_window.read w 30L "b" = Version_window.Unknown)
+
+let test_vw_range_clear_masks () =
+  let w = Version_window.create () in
+  Version_window.apply w 10L (Mutation.Set ("c", "x"));
+  Version_window.apply w 20L (Mutation.Clear_range ("a", "m"));
+  check_read "set before clear-range" true
+    (Version_window.read w 15L "c" = Version_window.Value "x");
+  check_read "swept by clear-range" true
+    (Version_window.read w 20L "c" = Version_window.Cleared);
+  check_read "persistent-only key masked" true
+    (Version_window.read w 25L "d" = Version_window.Cleared);
+  check_read "outside the range" true
+    (Version_window.read w 25L "z" = Version_window.Unknown);
+  Version_window.apply w 30L (Mutation.Set ("c", "y"));
+  check_read "rewrite after clear-range" true
+    (Version_window.read w 30L "c" = Version_window.Value "y")
+
+let test_vw_pop_through () =
+  let w = vw_with_events () in
+  let popped = Version_window.pop_through w 20L in
+  Alcotest.(check int) "popped two" 2 (List.length popped);
+  Alcotest.(check bool) "in order" true
+    (popped = [ Mutation.Set ("a", "1"); Mutation.Set ("a", "2") ]);
+  Alcotest.(check int64) "oldest advanced" 20L (Version_window.oldest w);
+  check_read "newer event still visible" true
+    (Version_window.read w 30L "a" = Version_window.Cleared);
+  check_read "older now unknown" true
+    (Version_window.read w 25L "a" = Version_window.Unknown);
+  Alcotest.(check int) "one event left" 1 (Version_window.event_count w)
+
+let test_vw_rollback () =
+  let w = vw_with_events () in
+  let dropped = Version_window.rollback w ~after:15L in
+  Alcotest.(check int) "dropped two" 2 dropped;
+  Alcotest.(check int64) "latest lowered" 15L (Version_window.latest w);
+  check_read "v10 intact" true (Version_window.read w 30L "a" = Version_window.Value "1")
+
+let test_vw_version_regression_rejected () =
+  let w = vw_with_events () in
+  Alcotest.(check bool) "regression raises" true
+    (try
+       Version_window.apply w 5L (Mutation.Set ("z", "1"));
+       false
+     with Invalid_argument _ -> true)
+
+let test_vw_keys_in_range () =
+  let w = Version_window.create () in
+  List.iter (fun k -> Version_window.apply w 10L (Mutation.Set (k, k))) [ "a"; "c"; "e" ];
+  Alcotest.(check (list string)) "subset" [ "a"; "c" ]
+    (Version_window.keys_in_range w ~from:"a" ~until:"d")
+
+(* --- Mutation / atomic ops --- *)
+
+let le_bytes i = String.init 8 (fun b -> Char.chr ((i lsr (8 * b)) land 0xff))
+
+let test_atomic_add () =
+  let v1 = Mutation.atomic_result Mutation.Add ~old_value:(Some (le_bytes 5)) (le_bytes 7) in
+  Alcotest.(check (option string)) "5+7" (Some (le_bytes 12)) v1;
+  let v2 = Mutation.atomic_result Mutation.Add ~old_value:None (le_bytes 3) in
+  Alcotest.(check (option string)) "missing treated as 0" (Some (le_bytes 3)) v2
+
+let test_atomic_add_carry () =
+  let v =
+    Mutation.atomic_result Mutation.Add ~old_value:(Some "\xff\x00") "\x01\x00"
+  in
+  Alcotest.(check (option string)) "carry" (Some "\x00\x01") v
+
+let test_atomic_minmax () =
+  let old_v = Some (le_bytes 10) in
+  Alcotest.(check (option string)) "max" (Some (le_bytes 12))
+    (Mutation.atomic_result Mutation.Max ~old_value:old_v (le_bytes 12));
+  Alcotest.(check (option string)) "min keeps" (Some (le_bytes 10))
+    (Mutation.atomic_result Mutation.Min ~old_value:old_v (le_bytes 12));
+  Alcotest.(check (option string)) "min missing takes operand" (Some (le_bytes 12))
+    (Mutation.atomic_result Mutation.Min ~old_value:None (le_bytes 12))
+
+let test_atomic_compare_and_clear () =
+  Alcotest.(check (option string)) "match clears" None
+    (Mutation.atomic_result Mutation.Compare_and_clear ~old_value:(Some "x") "x");
+  Alcotest.(check (option string)) "mismatch keeps" (Some "y")
+    (Mutation.atomic_result Mutation.Compare_and_clear ~old_value:(Some "y") "x")
+
+let test_atomic_bitops () =
+  Alcotest.(check (option string)) "or" (Some "\x07")
+    (Mutation.atomic_result Mutation.Bit_or ~old_value:(Some "\x05") "\x03");
+  Alcotest.(check (option string)) "and" (Some "\x01")
+    (Mutation.atomic_result Mutation.Bit_and ~old_value:(Some "\x05") "\x03");
+  Alcotest.(check (option string)) "xor" (Some "\x06")
+    (Mutation.atomic_result Mutation.Bit_xor ~old_value:(Some "\x05") "\x03")
+
+(* --- Persistent_store --- *)
+
+let with_store f =
+  Engine.run (fun () ->
+      let disk = Disk.create ~name:"ssd" () in
+      let* store = Persistent_store.recover ~disk ~prefix:"ss0" () in
+      f disk store)
+
+let test_ps_basic () =
+  let r =
+    with_store (fun _disk store ->
+        let* () =
+          Persistent_store.apply store
+            [ Mutation.Set ("a", "1"); Mutation.Set ("b", "2"); Mutation.Set ("c", "3") ]
+        in
+        let* () = Persistent_store.apply store [ Mutation.Clear "b" ] in
+        let* () = Persistent_store.commit store in
+        Future.return
+          ( Persistent_store.get store "a",
+            Persistent_store.get store "b",
+            Persistent_store.get_range store ~from:"a" ~until:"z" () ))
+  in
+  let a, b, range = r in
+  Alcotest.(check (option string)) "a" (Some "1") a;
+  Alcotest.(check (option string)) "b cleared" None b;
+  Alcotest.(check (list (pair string string))) "range" [ ("a", "1"); ("c", "3") ] range
+
+let test_ps_clear_range_and_limit () =
+  let r =
+    with_store (fun _disk store ->
+        let muts = List.init 10 (fun i -> Mutation.Set (Printf.sprintf "k%d" i, "v")) in
+        let* () = Persistent_store.apply store muts in
+        let* () = Persistent_store.apply store [ Mutation.Clear_range ("k3", "k7") ] in
+        Future.return
+          ( Persistent_store.get_range store ~from:"k0" ~until:"k9\xff" (),
+            Persistent_store.get_range store ~limit:2 ~from:"k0" ~until:"k9\xff" () ))
+  in
+  let all, limited = r in
+  Alcotest.(check int) "cleared range" 6 (List.length all);
+  Alcotest.(check (list (pair string string))) "limit" [ ("k0", "v"); ("k1", "v") ] limited
+
+let test_ps_recovery_durable () =
+  let r =
+    Engine.run (fun () ->
+        let disk = Disk.create ~name:"ssd" () in
+        let* store = Persistent_store.recover ~disk ~prefix:"ss0" () in
+        let* () = Persistent_store.apply store [ Mutation.Set ("a", "1") ] in
+        let* () = Persistent_store.commit store in
+        let* () = Persistent_store.apply store [ Mutation.Set ("b", "2") ] in
+        (* no commit for b *)
+        Disk.crash disk;
+        let* store' = Persistent_store.recover ~disk ~prefix:"ss0" () in
+        Future.return
+          (Persistent_store.get store' "a", Persistent_store.get store' "b"))
+  in
+  Alcotest.(check (option string)) "synced survives" (Some "1") (fst r);
+  Alcotest.(check (option string)) "unsynced lost" None (snd r)
+
+let test_ps_checkpoint_cycle () =
+  let r =
+    Engine.run (fun () ->
+        let disk = Disk.create ~name:"ssd" () in
+        let* store = Persistent_store.recover ~disk ~prefix:"ss0" ~checkpoint_every:10 () in
+        let rec writes i =
+          if i = 50 then Future.return ()
+          else
+            let* () =
+              Persistent_store.apply store [ Mutation.Set (Printf.sprintf "k%03d" i, string_of_int i) ]
+            in
+            let* () = Persistent_store.commit store in
+            writes (i + 1)
+        in
+        let* () = writes 0 in
+        Disk.crash disk;
+        let* store' = Persistent_store.recover ~disk ~prefix:"ss0" () in
+        Future.return (Persistent_store.entry_count store', Persistent_store.last_seq store'))
+  in
+  Alcotest.(check int) "all entries back" 50 (fst r);
+  Alcotest.(check int) "seq restored" 50 (snd r)
+
+let test_ps_prev_entry () =
+  let r =
+    with_store (fun _disk store ->
+        let* () =
+          Persistent_store.apply store [ Mutation.Set ("a", "1"); Mutation.Set ("c", "3") ]
+        in
+        Future.return
+          ( Persistent_store.prev_entry store ~before:"c",
+            Persistent_store.prev_entry store ~before:"a" ))
+  in
+  Alcotest.(check (option (pair string string))) "prev" (Some ("a", "1")) (fst r);
+  Alcotest.(check (option (pair string string))) "none" None (snd r)
+
+let qcheck_vw_matches_naive =
+  (* Random single-key histories: window reads must match a naive replay. *)
+  QCheck.Test.make ~name:"version_window matches naive replay" ~count:200
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 1 40) (pair (int_range 0 2) small_nat)))
+    (fun ops ->
+      let w = Version_window.create () in
+      let history = ref [] in
+      List.iteri
+        (fun i (kind, v) ->
+          let version = Int64.of_int ((i + 1) * 10) in
+          let m =
+            match kind with
+            | 0 -> Mutation.Set ("k", string_of_int v)
+            | 1 -> Mutation.Clear "k"
+            | _ -> Mutation.Clear_range ("a", "z")
+          in
+          Version_window.apply w version m;
+          history := (version, m) :: !history)
+        ops;
+      let naive_at version =
+        List.fold_left
+          (fun acc (v, m) ->
+            if v > version then acc
+            else
+              match m with
+              | Mutation.Set ("k", value) -> `Value value
+              | Mutation.Clear "k" | Mutation.Clear_range _ -> `Cleared
+              | _ -> acc)
+          `No_event
+          (List.rev !history)
+      in
+      List.for_all
+        (fun probe ->
+          let version = Int64.of_int probe in
+          match (Version_window.read w version "k", naive_at version) with
+          | Version_window.Value v, `Value v' -> v = v'
+          | Version_window.Cleared, `Cleared -> true
+          | Version_window.Unknown, `No_event -> true
+          | _ -> false)
+        (List.init 45 (fun i -> i * 10)))
+
+let suite =
+  [
+    Alcotest.test_case "vw point reads" `Quick test_vw_point_reads;
+    Alcotest.test_case "vw range clear masks" `Quick test_vw_range_clear_masks;
+    Alcotest.test_case "vw pop_through" `Quick test_vw_pop_through;
+    Alcotest.test_case "vw rollback" `Quick test_vw_rollback;
+    Alcotest.test_case "vw version regression" `Quick test_vw_version_regression_rejected;
+    Alcotest.test_case "vw keys in range" `Quick test_vw_keys_in_range;
+    QCheck_alcotest.to_alcotest qcheck_vw_matches_naive;
+    Alcotest.test_case "atomic add" `Quick test_atomic_add;
+    Alcotest.test_case "atomic add carry" `Quick test_atomic_add_carry;
+    Alcotest.test_case "atomic min/max" `Quick test_atomic_minmax;
+    Alcotest.test_case "atomic compare-and-clear" `Quick test_atomic_compare_and_clear;
+    Alcotest.test_case "atomic bitops" `Quick test_atomic_bitops;
+    Alcotest.test_case "persistent basic" `Quick test_ps_basic;
+    Alcotest.test_case "persistent clear range + limit" `Quick test_ps_clear_range_and_limit;
+    Alcotest.test_case "persistent recovery durability" `Quick test_ps_recovery_durable;
+    Alcotest.test_case "persistent checkpoint cycle" `Quick test_ps_checkpoint_cycle;
+    Alcotest.test_case "persistent prev entry" `Quick test_ps_prev_entry;
+  ]
