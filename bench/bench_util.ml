@@ -213,3 +213,21 @@ let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
 
 let row fmt = Printf.printf fmt
+
+(* Per-role latency percentile table from the cluster's metrics plane — the
+   same roll-up document `fdb_sim status --json` emits, as bench output. *)
+let print_percentiles (doc : Fdb_obs.Rollup.doc) =
+  header "Role latency percentiles (from Fdb_obs)";
+  row "%-12s %-16s %9s %10s %10s %10s %10s\n" "role" "metric" "count" "mean ms"
+    "p50 ms" "p99 ms" "max ms";
+  List.iter
+    (fun rd ->
+      List.iter
+        (fun (name, l) ->
+          let { Fdb_obs.Rollup.l_count; l_mean; l_p50; l_p99; l_max } = l in
+          row "%-12s %-16s %9d %10.3f %10.3f %10.3f %10.3f\n" rd.Fdb_obs.Rollup.rd_role
+            name l_count (l_mean *. 1e3) (l_p50 *. 1e3) (l_p99 *. 1e3) (l_max *. 1e3))
+        rd.Fdb_obs.Rollup.rd_latencies)
+    doc.Fdb_obs.Rollup.d_roles
+
+let obs_percentiles cluster = print_percentiles (Cluster.status_doc cluster)

@@ -69,7 +69,7 @@ let mix_txn db rng =
         done;
         Future.return (10, !bytes))
 
-let measure_point ~machines ~txn ~clients_per_machine =
+let measure_point ?doc_sink ~machines ~txn ~clients_per_machine () =
   let config = Config.scaled ~machines in
   (* Keep simulation cost in check: 4 storage servers per machine instead
      of 14 (documented in EXPERIMENTS.md; shapes unaffected). *)
@@ -77,9 +77,13 @@ let measure_point ~machines ~txn ~clients_per_machine =
   let config = Bench_util.shard_evenly config ~universe ~key_of:Bench_util.key in
   Bench_util.with_sim ~cpu_scale:scale config (fun cluster ->
       let* () = Bench_util.preload cluster ~universe in
-      Bench_util.closed_loop cluster
-        ~clients:(clients_per_machine * machines)
-        ~warmup:0.3 ~measure:0.4 ~txn)
+      let* r =
+        Bench_util.closed_loop cluster
+          ~clients:(clients_per_machine * machines)
+          ~warmup:0.3 ~measure:0.4 ~txn
+      in
+      Option.iter (fun sink -> sink := Some (Cluster.status_doc cluster)) doc_sink;
+      Future.return r)
 
 let mbps bytes_per_sec = bytes_per_sec /. 1e6
 
@@ -91,16 +95,16 @@ let run ~machine_counts () =
   List.iter
     (fun machines ->
       let _, _, w100, _ =
-        measure_point ~machines ~txn:(blind_write_txn 100) ~clients_per_machine:10
+        measure_point ~machines ~txn:(blind_write_txn 100) ~clients_per_machine:10 ()
       in
       let _, _, w500, _ =
-        measure_point ~machines ~txn:(blind_write_txn 500) ~clients_per_machine:6
+        measure_point ~machines ~txn:(blind_write_txn 500) ~clients_per_machine:6 ()
       in
       let _, _, r100, _ =
-        measure_point ~machines ~txn:(range_read_txn 100) ~clients_per_machine:14
+        measure_point ~machines ~txn:(range_read_txn 100) ~clients_per_machine:14 ()
       in
       let _, _, r500, _ =
-        measure_point ~machines ~txn:(range_read_txn 500) ~clients_per_machine:8
+        measure_point ~machines ~txn:(range_read_txn 500) ~clients_per_machine:8 ()
       in
       fig8a := (machines, w100, w500, r100, r500) :: !fig8a;
       Bench_util.row "%-9d %12.1f %12.1f %12.1f %12.1f\n" machines (mbps w100) (mbps w500)
@@ -109,9 +113,12 @@ let run ~machine_counts () =
   Bench_util.header "Figure 8b: 90/10 read-write operations per second (1/20 scale)";
   Bench_util.row "%-9s %14s\n" "machines" "ops/s";
   let fig8b = ref [] in
+  let last_doc = ref None in
   List.iter
     (fun machines ->
-      let _, ops, _, _ = measure_point ~machines ~txn:mix_txn ~clients_per_machine:14 in
+      let _, ops, _, _ =
+        measure_point ~doc_sink:last_doc ~machines ~txn:mix_txn ~clients_per_machine:14 ()
+      in
       fig8b := (machines, ops) :: !fig8b;
       Bench_util.row "%-9d %14.0f\n" machines ops)
     machine_counts;
@@ -127,4 +134,6 @@ let run ~machine_counts () =
         m0 mN (wN /. w0) (wN' /. w0') (rN /. r0) (rN' /. r0');
       Bench_util.row "Scaling %dx->%dx machines: 90/10 ops %.2fx (paper 4.69x)\n" mb0 mbN
         (oN /. o0)
-  | _ -> ())
+  | _ -> ());
+  (* Server-side percentile view of the largest 90/10 run. *)
+  Option.iter Bench_util.print_percentiles !last_doc

@@ -20,16 +20,21 @@ let run () =
     "Read ms" "Commit ms" "failed";
   let config = Config.scaled ~machines:24 in
   let config = Bench_util.shard_evenly config ~universe ~key_of:Bench_util.key in
+  let last_doc = ref None in
   List.iter
     (fun rate ->
       let lat, tput =
         Bench_util.with_sim ~cpu_scale:scale config (fun cluster ->
             let open Fdb_sim.Future.Syntax in
             let* () = Bench_util.preload cluster ~universe in
-            Bench_util.open_loop cluster ~universe ~rate ~warmup:4.0 ~measure:1.5)
+            let* r = Bench_util.open_loop cluster ~universe ~rate ~warmup:4.0 ~measure:1.5 in
+            last_doc := Some (Cluster.status_doc cluster);
+            Fdb_sim.Future.return r)
       in
       let ms h = Fdb_util.Histogram.mean h *. 1e3 in
       Bench_util.row "%-12.0f %14.0f %10.2f %10.2f %10.2f %8d\n" rate tput
         (ms lat.Bench_util.grv) (ms lat.Bench_util.read) (ms lat.Bench_util.commit)
         lat.Bench_util.failed)
-    rates
+    rates;
+  (* Server-side percentile view of the highest offered rate. *)
+  Option.iter Bench_util.print_percentiles !last_doc

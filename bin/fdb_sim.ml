@@ -63,27 +63,42 @@ let run_cmd =
 
 let status_cmd =
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.") in
-  let action seed =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the machine-readable status document.")
+  in
+  let action seed json =
     let open Fdb_sim in
     let open Fdb_core in
-    let report =
+    let report, doc =
       Engine.run ~seed:(Int64.of_int seed) ~max_time:1e4 (fun () ->
           let open Future.Syntax in
           let cluster = Cluster.create () in
           let* () = Cluster.wait_ready cluster in
           let db = Cluster.client cluster ~name:"status-demo" in
-          let* _ =
-            Client.run db (fun tx ->
-                Client.set tx "demo" "1";
-                Future.return ())
+          let rec txn i =
+            if i >= 25 then Future.return ()
+            else
+              let* _ =
+                Client.run db (fun tx ->
+                    Client.set tx (Printf.sprintf "demo/%02d" i) (string_of_int i);
+                    let* _ = Client.get tx "demo/00" in
+                    Future.return ())
+              in
+              txn (i + 1)
           in
-          Fdb_workloads.Status.gather cluster)
+          let* () = txn 0 in
+          (* Let heartbeats, the ratekeeper, and the roll-up actor tick so the
+             gauges and percentile tables are populated. *)
+          let* () = Engine.sleep 2.0 in
+          let* report = Fdb_workloads.Status.gather cluster in
+          Future.return (report, Cluster.status_doc cluster))
     in
-    Format.printf "%a@." Fdb_workloads.Status.pp report
+    if json then print_endline (Fdb_workloads.Status.to_json report doc)
+    else Format.printf "%a@." Fdb_workloads.Status.pp report
   in
   Cmd.v
     (Cmd.info "status" ~doc:"Boot a simulated cluster and print its status report.")
-    Term.(const action $ seed)
+    Term.(const action $ seed $ json)
 
 let () =
   let doc = "deterministic simulation testing for the FoundationDB reproduction" in

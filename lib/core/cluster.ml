@@ -5,10 +5,17 @@ type t = {
   ctx : Context.t;
   hosts : Worker.host array;
   workers : Worker.t array;
+  rollup : Fdb_obs.Rollup.t;
   mutable client_count : int;
 }
 
 let context t = t.ctx
+let metrics t = t.ctx.Context.metrics
+
+(* A fresh per-role aggregate of the metrics plane (the rollup actor also
+   refreshes one every second; this computes it on demand). *)
+let status_doc t = Fdb_obs.Rollup.snapshot ~now:(Engine.now ()) t.ctx.Context.metrics
+let latest_status_doc t = Fdb_obs.Rollup.latest t.rollup
 let worker_machines t = Array.map (fun h -> h.Worker.h_machine) t.hosts
 
 let coordinator_machines t =
@@ -59,6 +66,7 @@ let create ?(config = Config.default) () =
       coordinator_eps;
       worker_eps;
       storage_eps;
+      metrics = Fdb_obs.Registry.create ();
     }
   in
   (* Coordinators: processes on the first machines, own disk slice. *)
@@ -89,7 +97,8 @@ let create ?(config = Config.default) () =
   let workers =
     Array.init config.Config.machines (fun i -> Worker.create ctx hosts.(i) ~machine_id:i)
   in
-  { ctx; hosts; workers; client_count = 0 }
+  let rollup = Fdb_obs.Rollup.start ctx.Context.metrics in
+  { ctx; hosts; workers; rollup; client_count = 0 }
 
 let next_client_machine_id = 100_000
 

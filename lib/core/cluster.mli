@@ -32,3 +32,13 @@ val current_epoch : t -> Types.epoch Fdb_sim.Future.t
 
 val log_bytes : t -> float
 (** Total bytes written to all machine disks (throughput accounting). *)
+
+val metrics : t -> Fdb_obs.Registry.t
+(** The cluster-wide metrics registry every role publishes into. *)
+
+val status_doc : t -> Fdb_obs.Rollup.doc
+(** Aggregate the registry into a per-role status document right now. *)
+
+val latest_status_doc : t -> Fdb_obs.Rollup.doc option
+(** The most recent document produced by the periodic roll-up actor
+    (None until the first interval elapses). *)

@@ -7,6 +7,7 @@ type t = {
   coordinator_eps : int list;
   worker_eps : int array;
   storage_eps : int array;
+  metrics : Fdb_obs.Registry.t; (* the cluster-wide metrics plane *)
 }
 
 let rpc t ?timeout ?bytes ~from ep msg =

@@ -14,6 +14,8 @@ type t = {
   coordinator_eps : int list;  (** the "cluster file" *)
   worker_eps : int array;  (** worker agent endpoint, by machine index *)
   storage_eps : int array;  (** storage server endpoint, by server id *)
+  metrics : Fdb_obs.Registry.t;
+      (** cluster-wide metrics plane: every role publishes here *)
 }
 
 val rpc :

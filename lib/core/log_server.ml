@@ -36,6 +36,12 @@ type t = {
   mutable waiting_sync : (Types.version * unit Future.promise) list;
   mutable sync_scheduled : bool;
   mutable unpopped_bytes : int;
+  (* metrics plane *)
+  obs_append_lat : Fdb_obs.Registry.timer;
+  obs_pushes : Fdb_obs.Registry.counter;
+  obs_dv : Fdb_obs.Registry.gauge;
+  obs_rcv : Fdb_obs.Registry.gauge;
+  obs_unpopped : Fdb_obs.Registry.gauge;
 }
 
 let durable_version t = t.dv
@@ -93,12 +99,15 @@ let rec schedule_sync t =
   end
 
 let persist_entry t (e : Message.log_entry) =
+  let t0 = Engine.now () in
   let record = Marshal.to_string (e : Message.log_entry) [] in
   let* () = Disk.append t.disk t.wal record in
   let fut, promise = Future.make () in
   t.waiting_sync <- (e.Message.le_lsn, promise) :: t.waiting_sync;
   schedule_sync t;
-  fut
+  Future.map fut (fun () ->
+      Fdb_obs.Registry.observe t.obs_append_lat (Engine.now () -. t0);
+      Fdb_obs.Registry.set_gauge t.obs_dv (Int64.to_float t.dv))
 
 (* Accept an in-chain-order record: index it, persist it, and return the
    durability future. Then drain any pending successors. *)
@@ -108,6 +117,9 @@ let rec accept t (e : Message.log_entry) =
   t.rcv <- e.Message.le_lsn;
   if e.Message.le_kcv > t.kcv then t.kcv <- e.Message.le_kcv;
   index_payload t e;
+  Fdb_obs.Registry.incr t.obs_pushes;
+  Fdb_obs.Registry.set_gauge t.obs_rcv (Int64.to_float t.rcv);
+  Fdb_obs.Registry.set_gauge t.obs_unpopped (float_of_int t.unpopped_bytes);
   let durable = persist_entry t e in
   (match Hashtbl.find_opt t.pending e.Message.le_lsn with
   | Some successor ->
@@ -333,6 +345,21 @@ let resurrect ctx proc ~disk ~(meta : meta) =
       waiting_sync = [];
       sync_scheduled = false;
       unpopped_bytes = 0;
+      obs_append_lat =
+        Fdb_obs.Registry.histogram ctx.Context.metrics ~role:Fdb_obs.Registry.Log
+          ~process:proc.Process.pid "append_latency";
+      obs_pushes =
+        Fdb_obs.Registry.counter ctx.Context.metrics ~role:Fdb_obs.Registry.Log
+          ~process:proc.Process.pid "pushes";
+      obs_dv =
+        Fdb_obs.Registry.gauge ctx.Context.metrics ~role:Fdb_obs.Registry.Log
+          ~process:proc.Process.pid "durable_version";
+      obs_rcv =
+        Fdb_obs.Registry.gauge ctx.Context.metrics ~role:Fdb_obs.Registry.Log
+          ~process:proc.Process.pid "received_version";
+      obs_unpopped =
+        Fdb_obs.Registry.gauge ctx.Context.metrics ~role:Fdb_obs.Registry.Log
+          ~process:proc.Process.pid "unpopped_bytes";
     }
   in
   let parsed =
@@ -370,6 +397,8 @@ let resurrect ctx proc ~disk ~(meta : meta) =
   let dv = chain floor in
   t.dv <- dv;
   t.rcv <- dv;
+  Fdb_obs.Registry.set_gauge t.obs_dv (Int64.to_float dv);
+  Fdb_obs.Registry.set_gauge t.obs_rcv (Int64.to_float dv);
   Hashtbl.reset t.pending;
   Network.register ctx.Context.net meta.m_endpoint proc (handle t);
   Trace.emit "tlog_resurrected"
@@ -404,6 +433,21 @@ let create ctx proc ~disk ~epoch ~id ~start_lsn =
       waiting_sync = [];
       sync_scheduled = false;
       unpopped_bytes = 0;
+      obs_append_lat =
+        Fdb_obs.Registry.histogram ctx.Context.metrics ~role:Fdb_obs.Registry.Log
+          ~process:proc.Process.pid "append_latency";
+      obs_pushes =
+        Fdb_obs.Registry.counter ctx.Context.metrics ~role:Fdb_obs.Registry.Log
+          ~process:proc.Process.pid "pushes";
+      obs_dv =
+        Fdb_obs.Registry.gauge ctx.Context.metrics ~role:Fdb_obs.Registry.Log
+          ~process:proc.Process.pid "durable_version";
+      obs_rcv =
+        Fdb_obs.Registry.gauge ctx.Context.metrics ~role:Fdb_obs.Registry.Log
+          ~process:proc.Process.pid "received_version";
+      obs_unpopped =
+        Fdb_obs.Registry.gauge ctx.Context.metrics ~role:Fdb_obs.Registry.Log
+          ~process:proc.Process.pid "unpopped_bytes";
     }
   in
   Disk.attach disk proc;

@@ -24,6 +24,14 @@ type t = {
   (* commit batching *)
   mutable commit_queue : pending_commit list;
   mutable commit_flush_scheduled : bool;
+  (* metrics plane handles (no-ops when the registry is disabled) *)
+  obs_grv_lat : Fdb_obs.Registry.timer;
+  obs_commit_lat : Fdb_obs.Registry.timer;
+  obs_grv_served : Fdb_obs.Registry.counter;
+  obs_attempts : Fdb_obs.Registry.counter;
+  obs_commits : Fdb_obs.Registry.counter;
+  obs_conflicts : Fdb_obs.Registry.counter;
+  obs_too_old : Fdb_obs.Registry.counter;
 }
 
 let known_committed t = t.kcv
@@ -400,17 +408,36 @@ let handle t (msg : Message.t) : Message.t Future.t =
         let fut, promise = Future.make () in
         t.grv_queue <- promise :: t.grv_queue;
         schedule_grv_flush t;
-        fut
+        let t0 = Engine.now () in
+        Future.map fut (fun reply ->
+            (match reply with
+            | Message.Grv_reply _ ->
+                Fdb_obs.Registry.incr t.obs_grv_served;
+                Fdb_obs.Registry.observe t.obs_grv_lat (Engine.now () -. t0)
+            | _ -> ());
+            reply)
     | Message.Commit_req txn ->
+        Fdb_obs.Registry.incr t.obs_attempts;
         let fut, promise = Future.make () in
         t.commit_queue <- (txn, promise) :: t.commit_queue;
         schedule_commit_flush t
           ~now:(List.length t.commit_queue >= !Params.max_commit_batch);
-        fut
+        let t0 = Engine.now () in
+        Future.map fut (fun reply ->
+            (match reply with
+            | Message.Commit_reply _ ->
+                Fdb_obs.Registry.incr t.obs_commits;
+                Fdb_obs.Registry.observe t.obs_commit_lat (Engine.now () -. t0)
+            | Message.Reject Error.Not_committed -> Fdb_obs.Registry.incr t.obs_conflicts
+            | Message.Reject Error.Transaction_too_old -> Fdb_obs.Registry.incr t.obs_too_old
+            | _ -> ());
+            reply)
     | _ -> Future.return (Message.Reject (Error.Internal "proxy: unexpected message"))
 
 let create ctx proc ~epoch ~sequencer ~resolvers ~logs ~ratekeeper ~recovery_version =
   let ep = Network.fresh_endpoint ctx.Context.net in
+  let reg = ctx.Context.metrics in
+  let pid = proc.Process.pid in
   let t =
     {
       ctx;
@@ -430,6 +457,13 @@ let create ctx proc ~epoch ~sequencer ~resolvers ~logs ~ratekeeper ~recovery_ver
       last_refill = Engine.now ();
       commit_queue = [];
       commit_flush_scheduled = false;
+      obs_grv_lat = Fdb_obs.Registry.histogram reg ~role:Fdb_obs.Registry.Proxy ~process:pid "grv_latency";
+      obs_commit_lat = Fdb_obs.Registry.histogram reg ~role:Fdb_obs.Registry.Proxy ~process:pid "commit_latency";
+      obs_grv_served = Fdb_obs.Registry.counter reg ~role:Fdb_obs.Registry.Proxy ~process:pid "grv_served";
+      obs_attempts = Fdb_obs.Registry.counter reg ~role:Fdb_obs.Registry.Proxy ~process:pid "commit_attempts";
+      obs_commits = Fdb_obs.Registry.counter reg ~role:Fdb_obs.Registry.Proxy ~process:pid "commits";
+      obs_conflicts = Fdb_obs.Registry.counter reg ~role:Fdb_obs.Registry.Proxy ~process:pid "conflicts";
+      obs_too_old = Fdb_obs.Registry.counter reg ~role:Fdb_obs.Registry.Proxy ~process:pid "too_old";
     }
   in
   Network.register ctx.Context.net ep proc (handle t);

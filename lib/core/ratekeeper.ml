@@ -1,5 +1,6 @@
 open Fdb_sim
 open Future.Syntax
+module Registry = Fdb_obs.Registry
 
 type t = {
   ctx : Context.t;
@@ -7,6 +8,10 @@ type t = {
   ep : int;
   mutable rate : float;
   mutable alive : bool;
+  (* metrics plane: what we publish *)
+  obs_rate : Registry.gauge;
+  obs_throttles : Registry.counter;
+  obs_ticks : Registry.counter;
 }
 
 let max_rate = 5e6
@@ -15,33 +20,35 @@ let lag_limit = 2.0 (* seconds of storage lag before throttling *)
 let window_limit = 2_000_000 (* buffered window events before throttling *)
 let busy_limit = 0.2 (* seconds of storage CPU queue before throttling *)
 
+(* A storage server that has not refreshed its heartbeat gauge within this
+   long is presumed dead (the RPC path used a 1 s timeout the same way). *)
+let stale_after = 1.0
+
 let current_rate t = t.rate
 
+(* Read each live storage server's (lag, window_events, busy) from the
+   shared metrics plane instead of a per-server stats RPC scatter: the
+   samples are at most one heartbeat interval old, exactly like the
+   replies of the old scatter were one ratekeeper interval old. *)
 let collect t =
-  let eps = Array.to_list t.ctx.Context.storage_eps in
-  let calls =
-    List.map
-      (fun ep ->
-        Future.catch
-          (fun () ->
-            let* reply =
-              Context.rpc t.ctx ~timeout:1.0 ~from:t.proc ep Message.Ss_stats_req
-            in
-            match reply with
-            | Message.Ss_stats { ss_lag; ss_window_events; ss_busy; _ } ->
-                Future.return (Some (ss_lag, ss_window_events, ss_busy))
-            | _ -> Future.return None)
-          (fun _ -> Future.return None))
-      eps
-  in
-  Future.map (Future.all calls) (List.filter_map Fun.id)
+  let reg = t.ctx.Context.metrics in
+  let now = Engine.now () in
+  Registry.gauges reg ~role:Registry.Storage "heartbeat"
+  |> List.filter_map (fun (ss, hb) ->
+         if now -. hb > stale_after then None
+         else
+           let g name =
+             Option.value ~default:0.0
+               (Registry.gauge_value reg ~role:Registry.Storage ~process:ss name)
+           in
+           Some (g "lag", int_of_float (g "window_events"), g "busy"))
 
 let control_loop t =
   let rec loop () =
     if not t.alive then Future.return ()
     else
       let* () = Engine.sleep Params.ratekeeper_interval in
-      let* stats = collect t in
+      let stats = collect t in
       let worst_lag, worst_window, worst_busy =
         List.fold_left
           (fun (lag, win, busy) (ss_lag, ss_window_events, ss_busy) ->
@@ -51,8 +58,13 @@ let control_loop t =
       let overloaded =
         worst_lag > lag_limit || worst_window > window_limit || worst_busy > busy_limit
       in
-      if overloaded then t.rate <- Float.max min_rate (t.rate *. 0.7)
+      if overloaded then begin
+        t.rate <- Float.max min_rate (t.rate *. 0.7);
+        Registry.incr t.obs_throttles
+      end
       else t.rate <- Float.min max_rate ((t.rate *. 1.05) +. 100.0);
+      Registry.incr t.obs_ticks;
+      Registry.set_gauge t.obs_rate t.rate;
       Trace.emit "ratekeeper_tick"
         [ ("rate", Printf.sprintf "%.0f" t.rate);
           ("worst_lag", Printf.sprintf "%.3f" worst_lag);
@@ -70,7 +82,21 @@ let handle t (msg : Message.t) : Message.t Future.t =
 
 let create ctx proc =
   let ep = Network.fresh_endpoint ctx.Context.net in
-  let t = { ctx; proc; ep; rate = 1e5; alive = true } in
+  let reg = ctx.Context.metrics in
+  let pid = proc.Process.pid in
+  let t =
+    {
+      ctx;
+      proc;
+      ep;
+      rate = 1e5;
+      alive = true;
+      obs_rate = Registry.gauge reg ~role:Registry.Ratekeeper ~process:pid "rate";
+      obs_throttles = Registry.counter reg ~role:Registry.Ratekeeper ~process:pid "throttles";
+      obs_ticks = Registry.counter reg ~role:Registry.Ratekeeper ~process:pid "ticks";
+    }
+  in
+  Registry.set_gauge t.obs_rate t.rate;
   Network.register ctx.Context.net ep proc (handle t);
   Engine.spawn ~process:proc "ratekeeper" (fun () -> control_loop t);
   (t, ep)

@@ -10,3 +10,9 @@ type t
 
 val create : Context.t -> Fdb_sim.Process.t -> t * int
 val current_rate : t -> float
+
+val min_rate : float
+(** Floor of the budget; the control loop never throttles below this. *)
+
+val max_rate : float
+(** Ceiling of the budget during additive increase. *)

@@ -14,6 +14,11 @@ type t = {
   parked : (Types.version, Message.t * Message.t Future.promise) Hashtbl.t;
   (* Replay cache so duplicate deliveries get consistent verdicts. *)
   verdicts : (Types.version, Message.resolver_verdict array) Hashtbl.t;
+  (* metrics plane *)
+  obs_checked : Fdb_obs.Registry.counter;
+  obs_conflicts : Fdb_obs.Registry.counter;
+  obs_too_old : Fdb_obs.Registry.counter;
+  obs_entries : Fdb_obs.Registry.gauge;
 }
 
 let last_lsn t = t.last_lsn
@@ -66,6 +71,15 @@ let rec process t lsn prev txns =
   assert (prev = t.last_lsn);
   let* () = Engine.cpu t.proc (Params.cpu (cost txns)) in
   let verdicts = check_batch t lsn txns in
+  Array.iter
+    (fun v ->
+      Fdb_obs.Registry.incr t.obs_checked;
+      match v with
+      | Message.V_conflict -> Fdb_obs.Registry.incr t.obs_conflicts
+      | Message.V_too_old -> Fdb_obs.Registry.incr t.obs_too_old
+      | Message.V_commit -> ())
+    verdicts;
+  Fdb_obs.Registry.set_gauge t.obs_entries (float_of_int (Rvm.entry_count t.rvm));
   t.last_lsn <- lsn;
   Hashtbl.replace t.verdicts lsn verdicts;
   (* Unpark the successor, if it already arrived. *)
@@ -113,12 +127,15 @@ let expiry_loop t =
         (fun lsn _ -> if lsn < floor then Hashtbl.remove t.verdicts lsn)
         (Hashtbl.copy t.verdicts)
     end;
+    Fdb_obs.Registry.set_gauge t.obs_entries (float_of_int (Rvm.entry_count t.rvm));
     loop ()
   in
   loop ()
 
 let create ctx proc ~epoch ~range ~start_lsn =
   let ep = Network.fresh_endpoint ctx.Context.net in
+  let reg = ctx.Context.metrics in
+  let pid = proc.Process.pid in
   let t =
     {
       ctx;
@@ -130,6 +147,10 @@ let create ctx proc ~epoch ~range ~start_lsn =
       last_lsn = start_lsn;
       parked = Hashtbl.create 16;
       verdicts = Hashtbl.create 1024;
+      obs_checked = Fdb_obs.Registry.counter reg ~role:Fdb_obs.Registry.Resolver ~process:pid "txns_checked";
+      obs_conflicts = Fdb_obs.Registry.counter reg ~role:Fdb_obs.Registry.Resolver ~process:pid "conflicts";
+      obs_too_old = Fdb_obs.Registry.counter reg ~role:Fdb_obs.Registry.Resolver ~process:pid "too_old";
+      obs_entries = Fdb_obs.Registry.gauge reg ~role:Fdb_obs.Registry.Resolver ~process:pid "history_entries";
     }
   in
   Network.register ctx.Context.net ep proc (handle t);

@@ -24,6 +24,15 @@ type t = {
   mutable stale_pulls : int; (* consecutive failed peeks *)
   mutable refreshing : bool; (* single-flight coordinator consultation *)
   mutable alive : bool;
+  (* metrics plane: keyed by the storage id, which is stable across reboots *)
+  obs_read_lat : Fdb_obs.Registry.timer;
+  obs_reads : Fdb_obs.Registry.counter;
+  obs_lag : Fdb_obs.Registry.gauge;
+  obs_window : Fdb_obs.Registry.gauge;
+  obs_busy : Fdb_obs.Registry.gauge;
+  obs_version : Fdb_obs.Registry.gauge;
+  obs_durable : Fdb_obs.Registry.gauge;
+  obs_heartbeat : Fdb_obs.Registry.gauge;
 }
 
 let version t = t.version
@@ -226,6 +235,30 @@ let pull_loop t =
   in
   loop ()
 
+(* ---------- metrics publication (the shared metrics plane) ---------- *)
+
+(* The Ratekeeper and the Status workload read these gauges instead of
+   issuing a stats RPC scatter; the heartbeat gauge doubles as a liveness
+   signal (a dead process stops publishing). *)
+let publish_stats t =
+  let busy = t.proc.Process.cpu_busy_until -. Engine.now () in
+  Fdb_obs.Registry.set_gauge t.obs_lag (lag_seconds t);
+  Fdb_obs.Registry.set_gauge t.obs_window (float_of_int (Window.event_count t.window));
+  Fdb_obs.Registry.set_gauge t.obs_busy (if busy > 0.0 then busy else 0.0);
+  Fdb_obs.Registry.set_gauge t.obs_version (Int64.to_float t.version);
+  Fdb_obs.Registry.set_gauge t.obs_durable (Int64.to_float t.durable);
+  Fdb_obs.Registry.set_gauge t.obs_heartbeat (Engine.now ())
+
+let stats_loop t =
+  let rec loop () =
+    if not t.alive then Future.return ()
+    else
+      let* () = Engine.sleep Params.heartbeat_interval in
+      publish_stats t;
+      loop ()
+  in
+  loop ()
+
 (* ---------- durability (§2.4.3: delayed, coalesced persistence) ---------- *)
 
 let make_durable t =
@@ -381,6 +414,7 @@ let handle t (msg : Message.t) : Message.t Future.t =
   | Message.Storage_get { key; version; rv_epoch } ->
       if overloaded t then Future.return (Message.Reject Error.Process_behind)
       else
+      let t0 = Engine.now () in
       let* () = Engine.cpu t.proc (Params.cpu Params.storage_per_point_read) in
       let* current = ensure_epoch t rv_epoch in
       let* ok = if current then wait_for_version t version else Future.return false in
@@ -396,7 +430,11 @@ let handle t (msg : Message.t) : Message.t Future.t =
       end
       else if not (in_shards t key) then
         Future.return (Message.Reject (Error.Internal "wrong shard"))
-      else Future.return (Message.Storage_get_reply (read_at t version key))
+      else begin
+        Fdb_obs.Registry.incr t.obs_reads;
+        Fdb_obs.Registry.observe t.obs_read_lat (Engine.now () -. t0);
+        Future.return (Message.Storage_get_reply (read_at t version key))
+      end
   | Message.Storage_get_range { gr_from; gr_until; gr_version; gr_limit; gr_reverse; gr_epoch }
     ->
       if overloaded t then Future.return (Message.Reject Error.Process_behind)
@@ -462,12 +500,38 @@ let rec create ctx proc ~id ~disk =
       stale_pulls = 0;
       refreshing = false;
       alive = true;
+      obs_read_lat =
+        Fdb_obs.Registry.histogram ctx.Context.metrics ~role:Fdb_obs.Registry.Storage
+          ~process:id "read_latency";
+      obs_reads =
+        Fdb_obs.Registry.counter ctx.Context.metrics ~role:Fdb_obs.Registry.Storage
+          ~process:id "reads";
+      obs_lag =
+        Fdb_obs.Registry.gauge ctx.Context.metrics ~role:Fdb_obs.Registry.Storage
+          ~process:id "lag";
+      obs_window =
+        Fdb_obs.Registry.gauge ctx.Context.metrics ~role:Fdb_obs.Registry.Storage
+          ~process:id "window_events";
+      obs_busy =
+        Fdb_obs.Registry.gauge ctx.Context.metrics ~role:Fdb_obs.Registry.Storage
+          ~process:id "busy";
+      obs_version =
+        Fdb_obs.Registry.gauge ctx.Context.metrics ~role:Fdb_obs.Registry.Storage
+          ~process:id "version";
+      obs_durable =
+        Fdb_obs.Registry.gauge ctx.Context.metrics ~role:Fdb_obs.Registry.Storage
+          ~process:id "durable_version";
+      obs_heartbeat =
+        Fdb_obs.Registry.gauge ctx.Context.metrics ~role:Fdb_obs.Registry.Storage
+          ~process:id "heartbeat";
     }
   in
+  publish_stats t;
   Disk.attach disk proc;
   Network.register ctx.Context.net t.ep proc (handle t);
   Engine.spawn ~process:proc "ss-pull" (fun () -> pull_loop t);
   Engine.spawn ~process:proc "ss-durable" (fun () -> durable_loop t);
+  Engine.spawn ~process:proc "ss-stats" (fun () -> stats_loop t);
   proc.Process.boot <-
     (fun () ->
       Engine.spawn ~process:proc "ss-reboot" (fun () ->

@@ -1,0 +1,173 @@
+(* Typed metrics registry: the cluster-wide metrics plane (paper §2.3.1 /
+   `fdbcli status`). Every role registers counters, gauges, and log-bucketed
+   latency histograms keyed by (role, process, metric). Handles are obtained
+   once at role creation and updated on the hot path without hashing; when the
+   registry is disabled every handle is a no-op constant, so instrumentation
+   costs nothing.
+
+   All sampling runs on simulated time from the seeded RNG, so a serialized
+   dump of the registry is bit-identical across reruns of the same seed —
+   the metrics plane doubles as a determinism oracle for the swarm. *)
+
+module Histogram = Fdb_util.Histogram
+
+type role = Proxy | Resolver | Log | Storage | Ratekeeper | Sequencer | Client
+
+let role_name = function
+  | Proxy -> "proxy"
+  | Resolver -> "resolver"
+  | Log -> "log"
+  | Storage -> "storage"
+  | Ratekeeper -> "ratekeeper"
+  | Sequencer -> "sequencer"
+  | Client -> "client"
+
+let all_roles = [ Proxy; Resolver; Log; Storage; Ratekeeper; Sequencer; Client ]
+
+let role_order = function
+  | Proxy -> 0
+  | Resolver -> 1
+  | Log -> 2
+  | Storage -> 3
+  | Ratekeeper -> 4
+  | Sequencer -> 5
+  | Client -> 6
+
+type key = { k_role : role; k_process : int; k_metric : string }
+
+type cell =
+  | Counter_cell of int ref
+  | Gauge_cell of float ref
+  | Hist_cell of Histogram.t
+
+type t = { enabled : bool; cells : (key, cell) Hashtbl.t }
+
+let create ?(enabled = true) () = { enabled; cells = Hashtbl.create 256 }
+let disabled = { enabled = false; cells = Hashtbl.create 1 }
+let is_enabled t = t.enabled
+let clear t = Hashtbl.reset t.cells
+
+(* ---------- write-side handles ---------- *)
+
+type counter = No_counter | Counter of int ref
+type gauge = No_gauge | Gauge of float ref
+type timer = No_timer | Timer of Histogram.t
+
+let find_or_add t key make =
+  match Hashtbl.find_opt t.cells key with
+  | Some c -> c
+  | None ->
+      let c = make () in
+      Hashtbl.add t.cells key c;
+      c
+
+let counter t ~role ~process name =
+  if not t.enabled then No_counter
+  else
+    match
+      find_or_add t
+        { k_role = role; k_process = process; k_metric = name }
+        (fun () -> Counter_cell (ref 0))
+    with
+    | Counter_cell r -> Counter r
+    | _ -> invalid_arg ("Fdb_obs: metric is not a counter: " ^ name)
+
+let gauge t ~role ~process name =
+  if not t.enabled then No_gauge
+  else
+    match
+      find_or_add t
+        { k_role = role; k_process = process; k_metric = name }
+        (fun () -> Gauge_cell (ref 0.0))
+    with
+    | Gauge_cell r -> Gauge r
+    | _ -> invalid_arg ("Fdb_obs: metric is not a gauge: " ^ name)
+
+let histogram t ~role ~process name =
+  if not t.enabled then No_timer
+  else
+    match
+      find_or_add t
+        { k_role = role; k_process = process; k_metric = name }
+        (fun () -> Hist_cell (Histogram.create ()))
+    with
+    | Hist_cell h -> Timer h
+    | _ -> invalid_arg ("Fdb_obs: metric is not a histogram: " ^ name)
+
+let incr ?(by = 1) c = match c with No_counter -> () | Counter r -> r := !r + by
+let set_gauge g v = match g with No_gauge -> () | Gauge r -> r := v
+let observe h v = match h with No_timer -> () | Timer hist -> Histogram.add hist v
+
+(* ---------- read side ---------- *)
+
+let counter_value t ~role ~process name =
+  match Hashtbl.find_opt t.cells { k_role = role; k_process = process; k_metric = name } with
+  | Some (Counter_cell r) -> !r
+  | _ -> 0
+
+let gauge_value t ~role ~process name =
+  match Hashtbl.find_opt t.cells { k_role = role; k_process = process; k_metric = name } with
+  | Some (Gauge_cell r) -> Some !r
+  | _ -> None
+
+let by_process t ~role name pick =
+  Hashtbl.fold
+    (fun k cell acc ->
+      if k.k_role = role && k.k_metric = name then
+        match pick cell with Some v -> (k.k_process, v) :: acc | None -> acc
+      else acc)
+    t.cells []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counters t ~role name =
+  by_process t ~role name (function Counter_cell r -> Some !r | _ -> None)
+
+let gauges t ~role name =
+  by_process t ~role name (function Gauge_cell r -> Some !r | _ -> None)
+
+let histograms t ~role name =
+  by_process t ~role name (function Hist_cell h -> Some h | _ -> None)
+
+let sum_counter t ~role name =
+  List.fold_left (fun acc (_, v) -> acc + v) 0 (counters t ~role name)
+
+(* All cells, in a canonical deterministic order. Histograms are returned by
+   reference: readers must treat them as read-only. *)
+let entries t =
+  Hashtbl.fold (fun k cell acc -> (k, cell) :: acc) t.cells []
+  |> List.sort (fun (a, _) (b, _) ->
+         match compare (role_order a.k_role) (role_order b.k_role) with
+         | 0 -> (
+             match compare a.k_process b.k_process with
+             | 0 -> compare a.k_metric b.k_metric
+             | c -> c)
+         | c -> c)
+
+(* ---------- deterministic serialization ---------- *)
+
+let render_float f =
+  if Float.is_nan f then "nan"
+  else if f = Float.infinity then "inf"
+  else if f = Float.neg_infinity then "-inf"
+  else Printf.sprintf "%.9g" f
+
+let render_cell = function
+  | Counter_cell r -> string_of_int !r
+  | Gauge_cell r -> render_float !r
+  | Hist_cell h ->
+      Printf.sprintf "hist(count=%d,mean=%s,p50=%s,p99=%s,max=%s)"
+        (Histogram.count h)
+        (render_float (Histogram.mean h))
+        (render_float (Histogram.percentile h 50.0))
+        (render_float (Histogram.percentile h 99.0))
+        (render_float (Histogram.max_value h))
+
+let serialize t =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (k, cell) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s/%d/%s %s\n" (role_name k.k_role) k.k_process k.k_metric
+           (render_cell cell)))
+    (entries t);
+  Buffer.contents b

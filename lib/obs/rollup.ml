@@ -1,0 +1,175 @@
+(* Periodic roll-up: aggregate the per-process registry into a per-role
+   status document in the spirit of FDB's `\xff\xff/status/json` — summed
+   counters, min/max gauges, merged latency histograms with percentiles.
+   The document is machine-readable (sorted keys, canonical float rendering),
+   so two runs of the same seed serialize to identical bytes. *)
+
+open Fdb_sim
+open Future.Syntax
+module Histogram = Fdb_util.Histogram
+
+type lat = {
+  l_count : int;
+  l_mean : float;
+  l_p50 : float;
+  l_p99 : float;
+  l_max : float;
+}
+
+type role_doc = {
+  rd_role : string;
+  rd_processes : int;
+  rd_counters : (string * int) list; (* summed across processes *)
+  rd_gauges : (string * (float * float)) list; (* (min, max) across processes *)
+  rd_latencies : (string * lat) list; (* merged histograms *)
+}
+
+type doc = { d_time : float; d_roles : role_doc list }
+
+let lat_of_hist h =
+  {
+    l_count = Histogram.count h;
+    l_mean = Histogram.mean h;
+    l_p50 = Histogram.percentile h 50.0;
+    l_p99 = Histogram.percentile h 99.0;
+    l_max = Histogram.max_value h;
+  }
+
+let snapshot ~now (reg : Registry.t) : doc =
+  let all_entries = Registry.entries reg in
+  let roles =
+    List.filter_map
+      (fun role ->
+        let procs = ref [] in
+        let counters = ref [] in
+        let gauges = ref [] in
+        let hists = ref [] in
+        List.iter
+          (fun ((k : Registry.key), cell) ->
+            if k.Registry.k_role = role then begin
+              if not (List.mem k.Registry.k_process !procs) then
+                procs := k.Registry.k_process :: !procs;
+              let name = k.Registry.k_metric in
+              match cell with
+              | Registry.Counter_cell r ->
+                  counters :=
+                    (match List.assoc_opt name !counters with
+                    | Some sum -> (name, sum + !r) :: List.remove_assoc name !counters
+                    | None -> (name, !r) :: !counters)
+              | Registry.Gauge_cell r ->
+                  gauges :=
+                    (match List.assoc_opt name !gauges with
+                    | Some (lo, hi) ->
+                        (name, (Float.min lo !r, Float.max hi !r))
+                        :: List.remove_assoc name !gauges
+                    | None -> (name, (!r, !r)) :: !gauges)
+              | Registry.Hist_cell h ->
+                  let dst =
+                    match List.assoc_opt name !hists with
+                    | Some dst -> dst
+                    | None ->
+                        let dst = Histogram.create () in
+                        hists := (name, dst) :: !hists;
+                        dst
+                  in
+                  Histogram.merge_into ~dst h
+            end)
+          all_entries;
+        if !procs = [] then None
+        else
+          let sorted l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+          Some
+            {
+              rd_role = Registry.role_name role;
+              rd_processes = List.length !procs;
+              rd_counters = sorted !counters;
+              rd_gauges = sorted !gauges;
+              rd_latencies =
+                sorted (List.map (fun (n, h) -> (n, lat_of_hist h)) !hists);
+            })
+      Registry.all_roles
+  in
+  { d_time = now; d_roles = roles }
+
+(* ---------- JSON ---------- *)
+
+let json_float f =
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then "0"
+  else
+    let s = Printf.sprintf "%.9g" f in
+    (* "%.9g" may emit "1e+06": valid JSON. Bare "1" is too. *)
+    s
+
+let buf_kv b first key value =
+  if not !first then Buffer.add_char b ',';
+  first := false;
+  Buffer.add_string b (Printf.sprintf "\"%s\":%s" key value)
+
+let json_of_role_doc b (rd : role_doc) =
+  Buffer.add_string b (Printf.sprintf "\"%s\":{" rd.rd_role);
+  let first = ref true in
+  buf_kv b first "processes" (string_of_int rd.rd_processes);
+  let obj items render =
+    let bb = Buffer.create 128 in
+    Buffer.add_char bb '{';
+    let f = ref true in
+    List.iter
+      (fun (name, v) ->
+        if not !f then Buffer.add_char bb ',';
+        f := false;
+        Buffer.add_string bb (Printf.sprintf "\"%s\":%s" name (render v)))
+      items;
+    Buffer.add_char bb '}';
+    Buffer.contents bb
+  in
+  buf_kv b first "counters" (obj rd.rd_counters string_of_int);
+  buf_kv b first "gauges"
+    (obj rd.rd_gauges (fun (lo, hi) ->
+         Printf.sprintf "{\"min\":%s,\"max\":%s}" (json_float lo) (json_float hi)));
+  buf_kv b first "latencies"
+    (obj rd.rd_latencies (fun l ->
+         Printf.sprintf
+           "{\"count\":%d,\"mean_ms\":%s,\"p50_ms\":%s,\"p99_ms\":%s,\"max_ms\":%s}"
+           l.l_count
+           (json_float (l.l_mean *. 1e3))
+           (json_float (l.l_p50 *. 1e3))
+           (json_float (l.l_p99 *. 1e3))
+           (json_float (l.l_max *. 1e3))));
+  Buffer.add_char b '}'
+
+let json_of_doc (d : doc) =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b (Printf.sprintf "{\"time\":%s,\"roles\":{" (json_float d.d_time));
+  List.iteri
+    (fun i rd ->
+      if i > 0 then Buffer.add_char b ',';
+      json_of_role_doc b rd)
+    d.d_roles;
+  Buffer.add_string b "}}";
+  Buffer.contents b
+
+(* ---------- the periodic roll-up actor ---------- *)
+
+type t = {
+  reg : Registry.t;
+  interval : float;
+  mutable latest : doc option;
+  mutable alive : bool;
+}
+
+let latest t = t.latest
+let stop t = t.alive <- false
+
+let start ?(interval = 1.0) reg =
+  let t = { reg; interval; latest = None; alive = true } in
+  if Registry.is_enabled reg then
+    Engine.spawn "obs-rollup" (fun () ->
+        let rec loop () =
+          if not t.alive then Future.return ()
+          else
+            let* () = Engine.sleep t.interval in
+            t.latest <- Some (snapshot ~now:(Engine.now ()) t.reg);
+            loop ()
+        in
+        loop ());
+  t

@@ -200,6 +200,7 @@ let run ?(seed = 1L) ?(max_time = 1e7) ?(buggify = false) f =
     }
   in
   current := Some e;
+  Process.reset_pids ();
   Trace.reset ();
   Trace.set_clock (fun () -> e.clock);
   Buggify.configure ~enabled:buggify ~rng:(Rng.split e.root_rng);

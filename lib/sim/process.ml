@@ -18,6 +18,7 @@ and t = {
 }
 
 let next_pid = ref 0
+let reset_pids () = next_pid := 0
 
 let fresh_machine ?(dc = "dc0") ?(rack = "rack0") machine_id =
   { machine_id; dc; rack; machine_processes = [] }

@@ -33,6 +33,11 @@ val fresh_machine : ?dc:string -> ?rack:string -> int -> machine
 val create : ?name:string -> machine -> t
 (** Make a live process on [machine] (registers itself with the machine). *)
 
+val reset_pids : unit -> unit
+(** Restart pid allocation from 0. Called by {!Engine.run} so that reruns of
+    the same seed within one OS process assign identical pids — required for
+    bit-identical metric dumps (the registry keys cells by pid). *)
+
 val is_live : t -> int -> bool
 (** [is_live p inc] — alive and still in incarnation [inc]? *)
 

@@ -24,7 +24,10 @@ let index_of v =
 
 let upper_of i = smallest *. exp (float_of_int i *. log_base)
 
+(* Non-positive samples are clamped to [smallest] before recording, so every
+   statistic (count, total, min, percentiles) agrees with the bucket data. *)
 let add t v =
+  let v = if v < smallest then smallest else v in
   let i = index_of v in
   (match Hashtbl.find_opt t.buckets i with
   | Some r -> incr r

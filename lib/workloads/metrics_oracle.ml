@@ -1,0 +1,70 @@
+(* Swarm oracle over the metrics plane: after (or during) a chaos run, every
+   role's published metrics must satisfy basic sanity invariants. Because the
+   registry is populated on the hot paths, a violation here usually means a
+   protocol bug (e.g. durability racing ahead of the received chain) rather
+   than a metrics bug — which is exactly what makes it a useful oracle. *)
+
+open Fdb_core
+module Registry = Fdb_obs.Registry
+
+let check (reg : Registry.t) : string list =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let gauge ~role p name =
+    Option.value ~default:0.0 (Registry.gauge_value reg ~role ~process:p name)
+  in
+  (* Storage: durability can never outrun the applied version, and the
+     published load signals must be physical (non-negative). *)
+  List.iter
+    (fun (ss, durable) ->
+      let version = gauge ~role:Registry.Storage ss "version" in
+      if durable > version then
+        fail "metrics: storage %d durable %.0f > version %.0f" ss durable version;
+      let lag = gauge ~role:Registry.Storage ss "lag" in
+      if lag < 0.0 then fail "metrics: storage %d negative lag %.3f" ss lag;
+      let win = gauge ~role:Registry.Storage ss "window_events" in
+      if win < 0.0 then fail "metrics: storage %d negative window %.0f" ss win)
+    (Registry.gauges reg ~role:Registry.Storage "durable_version");
+  (* Log servers: the durable prefix is a prefix of the received chain. *)
+  List.iter
+    (fun (p, dv) ->
+      let rcv = gauge ~role:Registry.Log p "received_version" in
+      if dv > rcv then fail "metrics: log %d durable %.0f > received %.0f" p dv rcv)
+    (Registry.gauges reg ~role:Registry.Log "durable_version");
+  (* Proxies: every commit attempt has at most one recorded outcome. *)
+  List.iter
+    (fun (p, attempts) ->
+      let c name = Registry.counter_value reg ~role:Registry.Proxy ~process:p name in
+      let outcomes = c "commits" + c "conflicts" + c "too_old" in
+      if outcomes > attempts then
+        fail "metrics: proxy %d outcomes %d > attempts %d" p outcomes attempts)
+    (Registry.counters reg ~role:Registry.Proxy "commit_attempts");
+  (* Resolvers: aborts are a subset of the transactions checked. *)
+  List.iter
+    (fun (p, checked) ->
+      let c name = Registry.counter_value reg ~role:Registry.Resolver ~process:p name in
+      if c "conflicts" + c "too_old" > checked then
+        fail "metrics: resolver %d verdicts exceed txns checked %d" p checked)
+    (Registry.counters reg ~role:Registry.Resolver "txns_checked");
+  (* Ratekeeper: the budget stays inside its control bounds. *)
+  List.iter
+    (fun (p, rate) ->
+      if rate < Ratekeeper.min_rate -. 1e-6 || rate > Ratekeeper.max_rate +. 1e-6 then
+        fail "metrics: ratekeeper %d rate %.0f outside [%.0f, %.0f]" p rate
+          Ratekeeper.min_rate Ratekeeper.max_rate)
+    (Registry.gauges reg ~role:Registry.Ratekeeper "rate");
+  (* Latency histograms: simulated time only moves forward. *)
+  List.iter
+    (fun (role, name) ->
+      List.iter
+        (fun (p, h) ->
+          if Fdb_util.Histogram.count h > 0 && Fdb_util.Histogram.min_value h < 0.0 then
+            fail "metrics: %s %d negative %s sample" (Registry.role_name role) p name)
+        (Registry.histograms reg ~role name))
+    [
+      (Registry.Proxy, "grv_latency");
+      (Registry.Proxy, "commit_latency");
+      (Registry.Log, "append_latency");
+      (Registry.Storage, "read_latency");
+    ];
+  List.rev !failures

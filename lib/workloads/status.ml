@@ -1,6 +1,17 @@
+(* Cluster status report in the spirit of `fdbcli status` / `\xff\xff/status/json`.
+
+   The control plane (generation, recruitment, availability) still comes from
+   the ClusterController via the coordinators, but the data plane is sourced
+   from the shared `Fdb_obs` metrics plane: storage liveness/lag from the
+   heartbeat gauges the servers publish, transaction statistics from the proxy
+   counters and latency histograms. This replaces the stats RPC scatter the
+   old report duplicated with the Ratekeeper. *)
+
 open Fdb_sim
 open Fdb_core
 open Future.Syntax
+module Registry = Fdb_obs.Registry
+module Histogram = Fdb_util.Histogram
 
 type t = {
   st_epoch : Types.epoch;
@@ -11,7 +22,28 @@ type t = {
   st_storage_responsive : int;
   st_max_lag : float;
   st_max_window_events : int;
+  (* transaction plane, from the metrics registry *)
+  st_grv_served : int;
+  st_commit_attempts : int;
+  st_commits : int;
+  st_conflicts : int;
+  st_rate : float; (* current ratekeeper budget, tps *)
+  st_grv_p50 : float;
+  st_grv_p99 : float;
+  st_commit_p50 : float;
+  st_commit_p99 : float;
 }
+
+(* A storage server whose heartbeat gauge is older than this is counted as
+   unresponsive (mirrors the old 1 s stats-RPC timeout). *)
+let responsive_within = 1.0
+
+let merged_hist reg ~role name =
+  let dst = Histogram.create () in
+  List.iter
+    (fun (_, src) -> Histogram.merge_into ~dst src)
+    (Registry.histograms reg ~role name);
+  dst
 
 let gather cluster =
   let ctx = Cluster.context cluster in
@@ -39,25 +71,27 @@ let gather cluster =
         | _ -> Future.return None)
       (fun _ -> Future.return None)
   in
-  (* Storage plane. *)
-  let* stats =
-    Future.all
-      (Array.to_list
-         (Array.map
-            (fun ep ->
-              Future.catch
-                (fun () ->
-                  let* reply =
-                    Context.rpc ctx ~timeout:1.0 ~from:probe ep Message.Ss_stats_req
-                  in
-                  match reply with
-                  | Message.Ss_stats { ss_lag; ss_window_events; _ } ->
-                      Future.return (Some (ss_lag, ss_window_events))
-                  | _ -> Future.return None)
-                (fun _ -> Future.return None))
-            ctx.Context.storage_eps))
+  (* Storage plane: the heartbeat gauges every server publishes. *)
+  let reg = ctx.Context.metrics in
+  let now = Engine.now () in
+  let responsive =
+    Registry.gauges reg ~role:Registry.Storage "heartbeat"
+    |> List.filter_map (fun (ss, hb) ->
+           if now -. hb > responsive_within then None
+           else
+             let g name =
+               Option.value ~default:0.0
+                 (Registry.gauge_value reg ~role:Registry.Storage ~process:ss name)
+             in
+             Some (g "lag", int_of_float (g "window_events")))
   in
-  let responsive = List.filter_map Fun.id stats in
+  (* Transaction plane: proxy counters and latency histograms, all epochs. *)
+  let grv_h = merged_hist reg ~role:Registry.Proxy "grv_latency" in
+  let commit_h = merged_hist reg ~role:Registry.Proxy "commit_latency" in
+  let rate =
+    List.fold_left (fun a (_, r) -> Float.max a r)
+      0.0 (Registry.gauges reg ~role:Registry.Ratekeeper "rate")
+  in
   let epoch, proxies, logs, recovered =
     match cc_state with Some s -> s | None -> (0, 0, 0, false)
   in
@@ -71,6 +105,15 @@ let gather cluster =
       st_storage_responsive = List.length responsive;
       st_max_lag = List.fold_left (fun a (l, _) -> Float.max a l) 0.0 responsive;
       st_max_window_events = List.fold_left (fun a (_, w) -> max a w) 0 responsive;
+      st_grv_served = Registry.sum_counter reg ~role:Registry.Proxy "grv_served";
+      st_commit_attempts = Registry.sum_counter reg ~role:Registry.Proxy "commit_attempts";
+      st_commits = Registry.sum_counter reg ~role:Registry.Proxy "commits";
+      st_conflicts = Registry.sum_counter reg ~role:Registry.Proxy "conflicts";
+      st_rate = rate;
+      st_grv_p50 = Histogram.percentile grv_h 50.0;
+      st_grv_p99 = Histogram.percentile grv_h 99.0;
+      st_commit_p50 = Histogram.percentile commit_h 50.0;
+      st_commit_p99 = Histogram.percentile commit_h 99.0;
     }
 
 let pp fmt t =
@@ -79,8 +122,39 @@ let pp fmt t =
      transaction system  : %d proxies, %d log servers@,\
      storage servers     : %d/%d responsive@,\
      worst storage lag   : %.1f ms@,\
-     mvcc window events  : %d (max per server)@]"
+     mvcc window events  : %d (max per server)@,\
+     workload            : %d grv, %d/%d commits (%d conflicts)@,\
+     rate budget         : %.0f tps@,\
+     grv latency         : p50 %.2f ms, p99 %.2f ms@,\
+     commit latency      : p50 %.2f ms, p99 %.2f ms@]"
     t.st_epoch
     (if t.st_recovered then "available" else "recovering")
     t.st_proxies t.st_logs t.st_storage_responsive t.st_storage_total
     (t.st_max_lag *. 1e3) t.st_max_window_events
+    t.st_grv_served t.st_commits t.st_commit_attempts t.st_conflicts
+    t.st_rate
+    (t.st_grv_p50 *. 1e3) (t.st_grv_p99 *. 1e3)
+    (t.st_commit_p50 *. 1e3) (t.st_commit_p99 *. 1e3)
+
+(* Machine-readable status document: the cluster summary plus the full
+   per-role rollup. Deterministic: sorted keys, canonical float rendering —
+   two runs of the same seed emit identical bytes. *)
+let to_json t (doc : Fdb_obs.Rollup.doc) =
+  let f = Fdb_obs.Rollup.json_float in
+  Printf.sprintf
+    "{\"cluster\":{\"generation\":%d,\"available\":%b,\"proxies\":%d,\"logs\":%d,\
+     \"storage_responsive\":%d,\"storage_total\":%d,\"max_lag_ms\":%s,\
+     \"max_window_events\":%d,\"grv_served\":%d,\"commit_attempts\":%d,\
+     \"commits\":%d,\"conflicts\":%d,\"rate_tps\":%s,\
+     \"grv_p50_ms\":%s,\"grv_p99_ms\":%s,\"commit_p50_ms\":%s,\"commit_p99_ms\":%s},\
+     \"metrics\":%s}"
+    t.st_epoch t.st_recovered t.st_proxies t.st_logs t.st_storage_responsive
+    t.st_storage_total
+    (f (t.st_max_lag *. 1e3))
+    t.st_max_window_events t.st_grv_served t.st_commit_attempts t.st_commits
+    t.st_conflicts (f t.st_rate)
+    (f (t.st_grv_p50 *. 1e3))
+    (f (t.st_grv_p99 *. 1e3))
+    (f (t.st_commit_p50 *. 1e3))
+    (f (t.st_commit_p99 *. 1e3))
+    (Fdb_obs.Rollup.json_of_doc doc)

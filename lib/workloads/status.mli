@@ -1,7 +1,8 @@
-(** Cluster status report, in the spirit of `fdbcli status`: control-plane
-    generation and role placement, storage health (per-server version /
-    durable version / lag), and data-distribution team health — gathered
-    live over RPC, tolerating unreachable processes. *)
+(** Cluster status report, in the spirit of `fdbcli status` /
+    [\xff\xff/status/json]: control-plane generation and role placement
+    gathered over RPC, plus the data plane — storage health, transaction
+    counters, latency percentiles, and the ratekeeper budget — sourced from
+    the shared {!Fdb_obs} metrics registry. *)
 
 type t = {
   st_epoch : Fdb_core.Types.epoch;
@@ -12,6 +13,15 @@ type t = {
   st_storage_responsive : int;
   st_max_lag : float;  (** seconds, worst responsive storage server *)
   st_max_window_events : int;
+  st_grv_served : int;
+  st_commit_attempts : int;
+  st_commits : int;
+  st_conflicts : int;
+  st_rate : float;  (** current ratekeeper budget, tps *)
+  st_grv_p50 : float;  (** seconds *)
+  st_grv_p99 : float;
+  st_commit_p50 : float;
+  st_commit_p99 : float;
 }
 
 val gather : Fdb_core.Cluster.t -> t Fdb_sim.Future.t
@@ -19,3 +29,8 @@ val gather : Fdb_core.Cluster.t -> t Fdb_sim.Future.t
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable multi-line report. *)
+
+val to_json : t -> Fdb_obs.Rollup.doc -> string
+(** Machine-readable status document: the cluster summary plus the full
+    per-role metrics roll-up. Deterministic — two runs of the same seed
+    emit identical bytes. *)

@@ -109,6 +109,9 @@ let run_one ?(buggify = true) ?(duration = 60.0) ~seed () =
             @ collect "serializability" ser_res)
         end
       in
+      (* Metrics-plane oracle: role statistics must satisfy their sanity
+         invariants regardless of how the chaos went. *)
+      let metrics_failures = Metrics_oracle.check (Cluster.metrics cluster) in
       let* epochs = Cluster.current_epoch cluster in
       Future.return
         {
@@ -118,7 +121,7 @@ let run_one ?(buggify = true) ?(duration = 60.0) ~seed () =
           transfers = bank_stats.Bank.transfers_committed;
           rotations = ring_stats.Ring.rotations;
           soup_committed = soup_stats.Random_ops.committed;
-          oracle_failures = failures;
+          oracle_failures = failures @ metrics_failures;
           buggify_points = Buggify.points_hit ();
         })
 

@@ -230,9 +230,38 @@ let test_key_limits () =
       Future.return ())
 
 
+(* End-to-end observability: after a committed workload the metrics-backed
+   status report must show the traffic and a healthy storage plane. *)
+let test_status_reflects_workload () =
+  let st =
+    with_cluster (fun cluster ->
+        let db = Cluster.client cluster ~name:"c1" in
+        let* _ =
+          Client.run db (fun tx ->
+              for i = 0 to 19 do
+                Client.set tx (Printf.sprintf "obs/%02d" i) (string_of_int i)
+              done;
+              Future.return ())
+        in
+        (* Let the storage heartbeat gauges tick so responsiveness and lag
+           come from fresh samples. *)
+        let* () = Engine.sleep 1.0 in
+        Fdb_workloads.Status.gather cluster)
+  in
+  let open Fdb_workloads.Status in
+  Alcotest.(check bool) "commits counted" true (st.st_commits > 0);
+  Alcotest.(check bool) "grv served" true (st.st_grv_served >= st.st_commits);
+  Alcotest.(check int) "all storage responsive" st.st_storage_total st.st_storage_responsive;
+  Alcotest.(check bool) "storage lag bounded" true
+    (st.st_max_lag >= 0.0 && st.st_max_lag < 5.0);
+  Alcotest.(check bool) "commit latency measured" true (st.st_commit_p50 > 0.0);
+  Alcotest.(check bool) "p99 dominates p50" true (st.st_commit_p99 >= st.st_commit_p50);
+  Alcotest.(check bool) "rate budget positive" true (st.st_rate > 0.0)
+
 let suite =
   [
     Alcotest.test_case "boot and ready" `Quick test_boot_and_ready;
+    Alcotest.test_case "status reflects workload" `Quick test_status_reflects_workload;
     Alcotest.test_case "set/get" `Quick test_set_get;
     Alcotest.test_case "read your writes" `Quick test_read_your_writes;
     Alcotest.test_case "get_range" `Quick test_get_range;

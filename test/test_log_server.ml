@@ -15,6 +15,7 @@ let mini_ctx () =
     coordinator_eps = [];
     worker_eps = [||];
     storage_eps = [||];
+    metrics = Fdb_obs.Registry.create ();
   }
 
 let entry ~lsn ~prev ?(kcv = 0L) payload =

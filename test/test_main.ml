@@ -2,6 +2,7 @@ let () =
   Alcotest.run "fdb"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("future", Test_future.suite);
       ("engine", Test_engine.suite);
       ("network", Test_network.suite);

@@ -14,6 +14,7 @@ let mini_ctx () =
     coordinator_eps = [];
     worker_eps = [||];
     storage_eps = [||];
+    metrics = Fdb_obs.Registry.create ();
   }
 
 let setup ?(range = ("", Types.system_key_space_end)) () =

@@ -121,6 +121,57 @@ let qcheck_percentile_bounds =
       v >= Fdb_util.Histogram.min_value h *. 0.97
       && v <= Fdb_util.Histogram.max_value h *. 1.03 +. 1e-9)
 
+(* --- qcheck properties over the histogram (metrics-plane substrate) --- *)
+
+let hist_of_list xs =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) xs;
+  h
+
+let hist_merge a b =
+  let d = Histogram.create () in
+  Histogram.merge_into ~dst:d a;
+  Histogram.merge_into ~dst:d b;
+  d
+
+let pos_samples = QCheck.(list_of_size Gen.(0 -- 40) (map Float.abs (float_bound_exclusive 1000.0)))
+
+let qcheck_merge_associative =
+  QCheck.Test.make ~name:"histogram merge is associative" ~count:200
+    QCheck.(triple pos_samples pos_samples pos_samples)
+    (fun (xs, ys, zs) ->
+      let a () = hist_of_list xs and b () = hist_of_list ys and c () = hist_of_list zs in
+      let l = hist_merge (hist_merge (a ()) (b ())) (c ()) in
+      let r = hist_merge (a ()) (hist_merge (b ()) (c ())) in
+      (* Bucket contents, counts, and extrema are integer/idempotent data and
+         must agree exactly; only [total] is a float sum, so it gets an eps. *)
+      Histogram.count l = Histogram.count r
+      && Histogram.cdf_points l = Histogram.cdf_points r
+      && Histogram.min_value l = Histogram.min_value r
+      && Histogram.max_value l = Histogram.max_value r
+      && Float.abs (Histogram.total l -. Histogram.total r)
+         <= 1e-9 *. (1.0 +. Float.abs (Histogram.total l)))
+
+let qcheck_percentile_monotone =
+  QCheck.Test.make ~name:"histogram percentile is monotone in p" ~count:200
+    QCheck.(triple pos_samples (float_bound_inclusive 100.0) (float_bound_inclusive 100.0))
+    (fun (xs, p, q) ->
+      let h = hist_of_list xs in
+      let p, q = if p <= q then (p, q) else (q, p) in
+      Histogram.percentile h p <= Histogram.percentile h q)
+
+let qcheck_clamp_non_positive =
+  QCheck.Test.make ~name:"histogram clamps non-positive samples" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 40) (float_range (-10.0) 10.0))
+    (fun xs ->
+      let h = hist_of_list xs in
+      (* Every sample is recorded (none dropped), and the clamp keeps all
+         statistics strictly positive even for zero/negative inputs. *)
+      Histogram.count h = List.length xs
+      && Histogram.min_value h >= 1e-9 *. 0.999
+      && Histogram.percentile h 0.0 > 0.0
+      && Histogram.total h > 0.0)
+
 let suite =
   [
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
@@ -136,4 +187,7 @@ let suite =
     Alcotest.test_case "stats basic" `Quick test_stats_basic;
     Alcotest.test_case "stats counter" `Quick test_stats_counter;
     QCheck_alcotest.to_alcotest qcheck_percentile_bounds;
+    QCheck_alcotest.to_alcotest qcheck_merge_associative;
+    QCheck_alcotest.to_alcotest qcheck_percentile_monotone;
+    QCheck_alcotest.to_alcotest qcheck_clamp_non_positive;
   ]
