@@ -1,0 +1,102 @@
+(* fdb_lint: the determinism lint driver (DESIGN.md, "The determinism
+   contract"). Walks every .ml under the given roots (default lib bin
+   bench), runs the Lint pass, prints file:line:col diagnostics, and exits
+   non-zero on any violation. Wired into `dune build @lint`, which
+   `dune runtest` depends on.
+
+     dune exec bin/fdb_lint.exe -- --explain R2
+     dune exec bin/fdb_lint.exe -- --whitelist lint-whitelist.txt lib bin bench *)
+
+open Cmdliner
+
+(* The pass must stay cheap enough to sit on the edit-test loop. *)
+let budget_seconds = 5.0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec walk_dir acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.fold_left
+         (fun acc entry ->
+           if entry = "_build" || (entry <> "" && entry.[0] = '.') then acc
+           else walk_dir acc (Filename.concat path entry))
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let run_lint whitelist_file roots =
+  let t0 = Sys.time () in
+  match
+    match whitelist_file with
+    | None -> Ok []
+    | Some f -> ( try Ok (Lint.parse_whitelist (read_file f)) with Failure m -> Error m)
+  with
+  | Error msg ->
+      prerr_endline ("fdb_lint: " ^ msg);
+      2
+  | Ok whitelist ->
+      let files =
+        List.concat_map (fun root -> walk_dir [] root) roots |> List.sort compare
+      in
+      let diags = List.concat_map (Lint.lint_file ~whitelist) files in
+      List.iter (fun d -> Format.printf "%a@." Lint.pp_diagnostic d) diags;
+      let elapsed = Sys.time () -. t0 in
+      if elapsed > budget_seconds then begin
+        Printf.eprintf "fdb_lint: blew the %.0fs runtime budget (%.2fs over %d files)\n"
+          budget_seconds elapsed (List.length files);
+        2
+      end
+      else if diags <> [] then begin
+        Printf.printf "fdb_lint: %d violation(s) in %d files (%.2fs)\n"
+          (List.length diags) (List.length files) elapsed;
+        1
+      end
+      else begin
+        Printf.printf "fdb_lint: OK — %d files clean (%.2fs)\n" (List.length files)
+          elapsed;
+        0
+      end
+
+let explain_rule name =
+  match Lint.rule_of_string name with
+  | Some rule ->
+      print_endline (Lint.explain rule);
+      0
+  | None ->
+      Printf.eprintf "fdb_lint: unknown rule %s (have %s)\n" name
+        (String.concat " " (List.map Lint.rule_name Lint.all_rules));
+      2
+
+let cmd =
+  let explain =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "explain" ] ~docv:"RULE" ~doc:"Print the rationale for $(docv) and exit.")
+  in
+  let whitelist =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "whitelist" ] ~docv:"FILE"
+          ~doc:"Checked-in exemption list: one \"RULE path\" pair per line.")
+  in
+  let roots =
+    Arg.(
+      value
+      & pos_all string [ "lib"; "bin"; "bench" ]
+      & info [] ~docv:"DIR" ~doc:"Directories to scan (default: lib bin bench).")
+  in
+  let action explain whitelist roots =
+    exit (match explain with Some r -> explain_rule r | None -> run_lint whitelist roots)
+  in
+  Cmd.v
+    (Cmd.info "fdb_lint" ~doc:"determinism lint for the FoundationDB reproduction")
+    Term.(const action $ explain $ whitelist $ roots)
+
+let () = exit (Cmd.eval cmd)

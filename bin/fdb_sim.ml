@@ -29,18 +29,39 @@ let swarm_cmd =
   let no_buggify =
     Arg.(value & flag & info [ "no-buggify" ] ~doc:"Disable buggification points.")
   in
-  let action seeds start duration no_buggify =
+  let check_det =
+    Arg.(
+      value & flag
+      & info [ "check-determinism" ]
+          ~doc:
+            "Replay every seed twice and fail on trace-checksum divergence \
+             (the paper's nondeterminism detector).")
+  in
+  let action seeds start duration no_buggify check_det =
+    let buggify = not no_buggify in
     let failures = ref 0 in
     for s = start to start + seeds - 1 do
-      if not (run_seed ~buggify:(not no_buggify) ~duration ~trace:false (Int64.of_int s))
-      then incr failures
+      let seed = Int64.of_int s in
+      if check_det then begin
+        match Fdb_workloads.Swarm.check_determinism ~buggify ~duration ~seed () with
+        | Ok report ->
+            Printf.printf "seed=%Ld csum=%016Lx determinism OK%s\n" seed
+              report.Fdb_workloads.Swarm.trace_checksum
+              (if report.Fdb_workloads.Swarm.oracle_failures = [] then ""
+               else " (oracle FAIL)");
+            if report.Fdb_workloads.Swarm.oracle_failures <> [] then incr failures
+        | Error (a, b) ->
+            Printf.printf "seed=%Ld DETERMINISM FAIL: %016Lx <> %016Lx\n" seed a b;
+            incr failures
+      end
+      else if not (run_seed ~buggify ~duration ~trace:false seed) then incr failures
     done;
     Printf.printf "%d/%d runs passed all oracles.\n" (seeds - !failures) seeds;
     if !failures > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "swarm" ~doc:"Run many randomized fault-injection simulations.")
-    Term.(const action $ seeds $ start $ duration $ no_buggify)
+    Term.(const action $ seeds $ start $ duration $ no_buggify $ check_det)
 
 let run_cmd =
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.") in

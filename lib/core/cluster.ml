@@ -138,12 +138,11 @@ let wait_ready ?(timeout = 60.0) t =
   loop ()
 
 let current_epoch t =
-  let probe = client t ~name:"epoch-probe" in
+  let (_probe : Client.db) = client t ~name:"epoch-probe" in
   let transport = Context.paxos_transport t.ctx ~from:(
     let machine = Process.fresh_machine ~dc:"dc1" 999_999 in
     Process.create ~name:"epoch-query" machine)
   in
-  ignore probe;
   let reg =
     Fdb_paxos.Register.create transport ~reg:"ts-state" ~proposer:999_999
   in

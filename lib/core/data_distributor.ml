@@ -57,8 +57,7 @@ let monitor_loop t =
   in
   loop ()
 
-let handle t (msg : Message.t) : Message.t Future.t =
-  ignore t;
+let handle _t (msg : Message.t) : Message.t Future.t =
   match msg with
   | Message.Seq_ping -> Future.return Message.Ok_reply
   | _ -> Future.return (Message.Reject (Error.Internal "dd: unexpected message"))

@@ -1,5 +1,6 @@
 open Fdb_sim
 open Future.Syntax
+module Det_tbl = Fdb_util.Det_tbl
 
 type meta = {
   m_epoch : Types.epoch;
@@ -23,15 +24,16 @@ type t = {
   mutable dv : Types.version; (* durable, chain-contiguous *)
   mutable rcv : Types.version; (* received, chain-contiguous *)
   mutable kcv : Types.version;
-  (* All entries by LSN (seeds + pushes). *)
-  entries : (Types.version, Message.log_entry) Hashtbl.t;
-  (* Chain index: prev LSN -> entry LSN. *)
+  (* All entries by LSN (seeds + pushes); enumerated during prune and
+     recovery hand-off, so iteration order must be LSN-defined. *)
+  entries : (Types.version, Message.log_entry) Det_tbl.t;
+  (* Chain index: prev LSN -> entry LSN (point lookups only). *)
   next : (Types.version, Types.version) Hashtbl.t;
   (* Pushes that arrived before their predecessor. *)
-  pending : (Types.version, Message.log_entry) Hashtbl.t;
+  pending : (Types.version, Message.log_entry) Det_tbl.t;
   (* Per-tag unpopped payload, oldest first (reversed storage). *)
   per_tag : (Types.tag, (Types.version * Fdb_kv.Mutation.t list) list ref) Hashtbl.t;
-  pop_floor : (Types.tag, Types.version) Hashtbl.t;
+  pop_floor : (Types.tag, Types.version) Det_tbl.t;
   (* Records appended to disk but not yet synced, with their promises. *)
   mutable waiting_sync : (Types.version * unit Future.promise) list;
   mutable sync_scheduled : bool;
@@ -92,7 +94,10 @@ let rec schedule_sync t =
               List.iter
                 (fun (lsn, promise) ->
                   if lsn > t.dv then t.dv <- lsn;
-                  ignore (Future.try_fulfill promise ()))
+                  (* A false fulfil would lose a durability ack: trace it. *)
+                  if not (Future.try_fulfill promise ()) then
+                    Trace.emit "tlog_sync_ack_lost"
+                      [ ("lsn", Int64.to_string lsn) ])
                 batch;
               if t.waiting_sync <> [] then schedule_sync t;
               Future.return ()))
@@ -112,7 +117,7 @@ let persist_entry t (e : Message.log_entry) =
 (* Accept an in-chain-order record: index it, persist it, and return the
    durability future. Then drain any pending successors. *)
 let rec accept t (e : Message.log_entry) =
-  Hashtbl.replace t.entries e.Message.le_lsn e;
+  Det_tbl.replace t.entries e.Message.le_lsn e;
   Hashtbl.replace t.next e.Message.le_prev e.Message.le_lsn;
   t.rcv <- e.Message.le_lsn;
   if e.Message.le_kcv > t.kcv then t.kcv <- e.Message.le_kcv;
@@ -121,15 +126,17 @@ let rec accept t (e : Message.log_entry) =
   Fdb_obs.Registry.set_gauge t.obs_rcv (Int64.to_float t.rcv);
   Fdb_obs.Registry.set_gauge t.obs_unpopped (float_of_int t.unpopped_bytes);
   let durable = persist_entry t e in
-  (match Hashtbl.find_opt t.pending e.Message.le_lsn with
+  (match Det_tbl.find_opt t.pending e.Message.le_lsn with
   | Some successor ->
-      Hashtbl.remove t.pending e.Message.le_lsn;
-      ignore (accept t successor)
+      Det_tbl.remove t.pending e.Message.le_lsn;
+      (* The successor's own durability future: its push RPC already holds
+         a reference via waiting_sync, so dropping this copy loses nothing. *)
+      ignore (accept t successor : unit Future.t)
   | None -> ());
   durable
 
 let tag_entries t tag ~from_version =
-  let floor = Option.value (Hashtbl.find_opt t.pop_floor tag) ~default:Int64.min_int in
+  let floor = Option.value (Det_tbl.find_opt t.pop_floor tag) ~default:Int64.min_int in
   match Hashtbl.find_opt t.per_tag tag with
   | None -> []
   | Some l ->
@@ -137,9 +144,9 @@ let tag_entries t tag ~from_version =
       |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let do_pop t tag up_to =
-  let old_floor = Option.value (Hashtbl.find_opt t.pop_floor tag) ~default:Int64.min_int in
+  let old_floor = Option.value (Det_tbl.find_opt t.pop_floor tag) ~default:Int64.min_int in
   if up_to > old_floor then begin
-    Hashtbl.replace t.pop_floor tag up_to;
+    Det_tbl.replace t.pop_floor tag up_to;
     match Hashtbl.find_opt t.per_tag tag with
     | None -> ()
     | Some l ->
@@ -159,18 +166,18 @@ let do_pop t tag up_to =
    rebooted server would understate its durable version and drag the next
    recovery's RV below acknowledged commits. *)
 let prune t =
-  if Hashtbl.length t.pop_floor > 0 then begin
+  if Det_tbl.length t.pop_floor > 0 then begin
     let global_floor =
-      Hashtbl.fold (fun _ v acc -> min v acc) t.pop_floor Int64.max_int
+      Det_tbl.fold (fun _ v acc -> min v acc) t.pop_floor Int64.max_int
     in
     let doomed =
-      Hashtbl.fold
+      Det_tbl.fold
         (fun lsn (e : Message.log_entry) acc ->
           let unpopped =
             List.exists
               (fun (tag, muts) ->
                 muts <> []
-                && lsn > Option.value (Hashtbl.find_opt t.pop_floor tag) ~default:Int64.min_int)
+                && lsn > Option.value (Det_tbl.find_opt t.pop_floor tag) ~default:Int64.min_int)
               e.Message.le_payload
           in
           if lsn <= global_floor && not unpopped then lsn :: acc else acc)
@@ -186,10 +193,10 @@ let prune t =
       t.floor <- new_floor;
       List.iter
         (fun lsn ->
-          (match Hashtbl.find_opt t.entries lsn with
+          (match Det_tbl.find_opt t.entries lsn with
           | Some e -> Hashtbl.remove t.next e.Message.le_prev
           | None -> ());
-          Hashtbl.remove t.entries lsn)
+          Det_tbl.remove t.entries lsn)
         doomed;
       (* Dead entries are a prefix of the WAL (appends are chain-ordered),
          so rotate them out of the simulated disk as well. *)
@@ -210,8 +217,10 @@ let prune_loop t =
   loop ()
 
 (* Everything not yet popped and already durable, for recovery hand-off. *)
+(* Det_tbl.fold ascending + cons yields a descending-LSN list, as before
+   (recovery re-sorts after merging across servers). *)
 let unpopped_durable_entries t =
-  Hashtbl.fold
+  Det_tbl.fold
     (fun lsn (e : Message.log_entry) acc ->
       if lsn > t.dv then acc
       else begin
@@ -219,7 +228,7 @@ let unpopped_durable_entries t =
           List.filter
             (fun (tag, muts) ->
               muts <> []
-              && lsn > Option.value (Hashtbl.find_opt t.pop_floor tag) ~default:Int64.min_int)
+              && lsn > Option.value (Det_tbl.find_opt t.pop_floor tag) ~default:Int64.min_int)
             e.Message.le_payload
         in
         if payload = [] then acc else { e with Message.le_payload = payload } :: acc
@@ -234,7 +243,7 @@ let handle t (msg : Message.t) : Message.t Future.t =
   | Message.Log_push { lp_epoch; lp_entry } ->
       if t.stopped || lp_epoch <> t.epoch then
         Future.return (Message.Reject Error.Wrong_epoch)
-      else if Hashtbl.mem t.entries lp_entry.Message.le_lsn then
+      else if Det_tbl.mem t.entries lp_entry.Message.le_lsn then
         (* Duplicate push: wait for durability of what we already have. *)
         if t.dv >= lp_entry.Message.le_lsn then
           Future.return (Message.Log_push_ack { durable_version = t.dv })
@@ -254,7 +263,7 @@ let handle t (msg : Message.t) : Message.t Future.t =
           Future.return (Message.Log_push_ack { durable_version = t.dv })
         else if lp_entry.Message.le_prev > t.rcv then begin
           (* Out of order: park; ack only when it becomes durable in order. *)
-          Hashtbl.replace t.pending lp_entry.Message.le_prev lp_entry;
+          Det_tbl.replace t.pending lp_entry.Message.le_prev lp_entry;
           let rec wait () =
             let* () = Engine.sleep 1e-3 in
             if t.dv >= lp_entry.Message.le_lsn then
@@ -294,8 +303,8 @@ let handle t (msg : Message.t) : Message.t Future.t =
          indexes but not the chain. *)
       List.iter
         (fun (e : Message.log_entry) ->
-          if not (Hashtbl.mem t.entries e.Message.le_lsn) then begin
-            Hashtbl.replace t.entries e.Message.le_lsn e;
+          if not (Det_tbl.mem t.entries e.Message.le_lsn) then begin
+            Det_tbl.replace t.entries e.Message.le_lsn e;
             index_payload t e
           end)
         ls_entries;
@@ -337,11 +346,11 @@ let resurrect ctx proc ~disk ~(meta : meta) =
       dv = meta.m_start_lsn;
       rcv = meta.m_start_lsn;
       kcv = 0L;
-      entries = Hashtbl.create 1024;
+      entries = Det_tbl.create ~size:1024 ();
       next = Hashtbl.create 1024;
-      pending = Hashtbl.create 4;
+      pending = Det_tbl.create ~size:4 ();
       per_tag = Hashtbl.create 64;
-      pop_floor = Hashtbl.create 64;
+      pop_floor = Det_tbl.create ~size:64 ();
       waiting_sync = [];
       sync_scheduled = false;
       unpopped_bytes = 0;
@@ -374,20 +383,20 @@ let resurrect ctx proc ~disk ~(meta : meta) =
      history; chain records must form a contiguous prefix from the floor. *)
   List.iter
     (fun (e : Message.log_entry) ->
-      if e.Message.le_lsn <= floor && not (Hashtbl.mem t.entries e.Message.le_lsn)
+      if e.Message.le_lsn <= floor && not (Det_tbl.mem t.entries e.Message.le_lsn)
       then begin
-        Hashtbl.replace t.entries e.Message.le_lsn e;
+        Det_tbl.replace t.entries e.Message.le_lsn e;
         index_payload t e
       end
       else if e.Message.le_lsn > floor then
-        Hashtbl.replace t.pending e.Message.le_lsn e)
+        Det_tbl.replace t.pending e.Message.le_lsn e)
     parsed;
   let rec chain v =
-    let candidates = Hashtbl.fold (fun lsn e acc -> if e.Message.le_prev = v then (lsn, e) :: acc else acc) t.pending [] in
+    let candidates = Det_tbl.fold (fun lsn e acc -> if e.Message.le_prev = v then (lsn, e) :: acc else acc) t.pending [] in
     match candidates with
     | (lsn, e) :: _ ->
-        Hashtbl.remove t.pending lsn;
-        Hashtbl.replace t.entries lsn e;
+        Det_tbl.remove t.pending lsn;
+        Det_tbl.replace t.entries lsn e;
         Hashtbl.replace t.next v lsn;
         index_payload t e;
         if e.Message.le_kcv > t.kcv then t.kcv <- e.Message.le_kcv;
@@ -399,7 +408,7 @@ let resurrect ctx proc ~disk ~(meta : meta) =
   t.rcv <- dv;
   Fdb_obs.Registry.set_gauge t.obs_dv (Int64.to_float dv);
   Fdb_obs.Registry.set_gauge t.obs_rcv (Int64.to_float dv);
-  Hashtbl.reset t.pending;
+  Det_tbl.reset t.pending;
   Network.register ctx.Context.net meta.m_endpoint proc (handle t);
   Trace.emit "tlog_resurrected"
     [ ("id", string_of_int meta.m_id); ("epoch", string_of_int meta.m_epoch);
@@ -425,11 +434,11 @@ let create ctx proc ~disk ~epoch ~id ~start_lsn =
       dv = start_lsn;
       rcv = start_lsn;
       kcv = 0L;
-      entries = Hashtbl.create 1024;
+      entries = Det_tbl.create ~size:1024 ();
       next = Hashtbl.create 1024;
-      pending = Hashtbl.create 16;
+      pending = Det_tbl.create ~size:16 ();
       per_tag = Hashtbl.create 64;
-      pop_floor = Hashtbl.create 64;
+      pop_floor = Det_tbl.create ~size:64 ();
       waiting_sync = [];
       sync_scheduled = false;
       unpopped_bytes = 0;

@@ -91,12 +91,13 @@ let rec grv_flush t =
               (fun p ->
                 ignore
                   (Future.try_fulfill p
-                     (Message.Grv_reply { gv_version = read_version; gv_epoch = grv_epoch })))
+                     (Message.Grv_reply { gv_version = read_version; gv_epoch = grv_epoch })
+                   : bool))
               batch
         | _ ->
             List.iter
               (fun p ->
-                ignore (Future.try_fulfill p (Message.Reject Error.Database_locked)))
+                ignore (Future.try_fulfill p (Message.Reject Error.Database_locked) : bool))
               batch);
         if t.grv_queue <> [] then grv_flush t else Future.return ()
       end
@@ -279,10 +280,12 @@ let commit_batch t (batch : pending_commit list) =
           | Message.V_commit ->
               committed_mutations := !committed_mutations @ materialize_mutations lsn i txns.(i)
           | Message.V_conflict ->
-              ignore (Future.try_fulfill promises.(i) (Message.Reject Error.Not_committed))
+              ignore
+                (Future.try_fulfill promises.(i) (Message.Reject Error.Not_committed) : bool)
           | Message.V_too_old ->
               ignore
-                (Future.try_fulfill promises.(i) (Message.Reject Error.Transaction_too_old)))
+                (Future.try_fulfill promises.(i) (Message.Reject Error.Transaction_too_old)
+                 : bool))
         verdicts;
       let entries = build_log_entries t lsn prev !committed_mutations in
       let* all_acked = push_to_logs t entries in
@@ -292,7 +295,8 @@ let commit_batch t (batch : pending_commit list) =
           (fun i verdict ->
             if verdict = Message.V_commit then
               ignore
-                (Future.try_fulfill promises.(i) (Message.Reject Error.Commit_unknown_result)))
+                (Future.try_fulfill promises.(i) (Message.Reject Error.Commit_unknown_result)
+                 : bool))
           verdicts;
         die t "log push failed";
         Future.return ()
@@ -323,7 +327,8 @@ let commit_batch t (batch : pending_commit list) =
               if verdict = Message.V_commit then
                 ignore
                   (Future.try_fulfill promises.(i)
-                     (Message.Reject Error.Commit_unknown_result)))
+                     (Message.Reject Error.Commit_unknown_result)
+                   : bool))
             verdicts;
           die t "sequencer unreachable (report)";
           Future.return ()
@@ -332,7 +337,7 @@ let commit_batch t (batch : pending_commit list) =
           Array.iteri
             (fun i verdict ->
               if verdict = Message.V_commit then
-                ignore (Future.try_fulfill promises.(i) (Message.Commit_reply lsn)))
+                ignore (Future.try_fulfill promises.(i) (Message.Commit_reply lsn) : bool))
             verdicts;
           Future.return ()
         end
@@ -340,7 +345,7 @@ let commit_batch t (batch : pending_commit list) =
   | _ ->
       (* No version, nothing logged: definitely not committed. *)
       Array.iter
-        (fun p -> ignore (Future.try_fulfill p (Message.Reject Error.Database_locked)))
+        (fun p -> ignore (Future.try_fulfill p (Message.Reject Error.Database_locked) : bool))
         promises;
       Future.return ()
 

@@ -13,7 +13,7 @@ type t = {
   (* Batches whose predecessor has not arrived yet, keyed by their prev. *)
   parked : (Types.version, Message.t * Message.t Future.promise) Hashtbl.t;
   (* Replay cache so duplicate deliveries get consistent verdicts. *)
-  verdicts : (Types.version, Message.resolver_verdict array) Hashtbl.t;
+  verdicts : (Types.version, Message.resolver_verdict array) Fdb_util.Det_tbl.t;
   (* metrics plane *)
   obs_checked : Fdb_obs.Registry.counter;
   obs_conflicts : Fdb_obs.Registry.counter;
@@ -81,14 +81,14 @@ let rec process t lsn prev txns =
     verdicts;
   Fdb_obs.Registry.set_gauge t.obs_entries (float_of_int (Rvm.entry_count t.rvm));
   t.last_lsn <- lsn;
-  Hashtbl.replace t.verdicts lsn verdicts;
+  Fdb_util.Det_tbl.replace t.verdicts lsn verdicts;
   (* Unpark the successor, if it already arrived. *)
   (match Hashtbl.find_opt t.parked lsn with
   | Some (Message.Resolve_req { rs_lsn; rs_prev; rs_txns; _ }, promise) ->
       Hashtbl.remove t.parked lsn;
       Engine.spawn ~process:t.proc "resolver-unpark" (fun () ->
           let* reply = process t rs_lsn rs_prev rs_txns in
-          ignore (Future.try_fulfill promise reply);
+          ignore (Future.try_fulfill promise reply : bool);
           Future.return ())
   | Some _ | None -> ());
   Future.return (Message.Resolve_reply verdicts)
@@ -100,7 +100,7 @@ let handle t (msg : Message.t) : Message.t Future.t =
       if rs_epoch <> t.epoch then Future.return (Message.Reject Error.Wrong_epoch)
       else if rs_lsn <= t.last_lsn then (
         (* Duplicate delivery: replay the original verdicts. *)
-        match Hashtbl.find_opt t.verdicts rs_lsn with
+        match Fdb_util.Det_tbl.find_opt t.verdicts rs_lsn with
         | Some v -> Future.return (Message.Resolve_reply v)
         | None -> Future.return (Message.Reject (Error.Internal "stale resolve")))
       else if rs_prev = t.last_lsn then process t rs_lsn rs_prev rs_txns
@@ -123,9 +123,11 @@ let expiry_loop t =
     let floor = Int64.sub t.last_lsn window_versions in
     if floor > 0L then begin
       Rvm.expire t.rvm ~before:floor;
-      Hashtbl.iter
-        (fun lsn _ -> if lsn < floor then Hashtbl.remove t.verdicts lsn)
-        (Hashtbl.copy t.verdicts)
+      (* Det_tbl.iter walks a snapshot, so removing under the cursor is
+         safe — no defensive copy needed. *)
+      Fdb_util.Det_tbl.iter
+        (fun lsn _ -> if lsn < floor then Fdb_util.Det_tbl.remove t.verdicts lsn)
+        t.verdicts
     end;
     Fdb_obs.Registry.set_gauge t.obs_entries (float_of_int (Rvm.entry_count t.rvm));
     loop ()
@@ -146,7 +148,7 @@ let create ctx proc ~epoch ~range ~start_lsn =
       rvm = Rvm.create ~rng:(Engine.fork_rng ()) ();
       last_lsn = start_lsn;
       parked = Hashtbl.create 16;
-      verdicts = Hashtbl.create 1024;
+      verdicts = Fdb_util.Det_tbl.create ~size:1024 ();
       obs_checked = Fdb_obs.Registry.counter reg ~role:Fdb_obs.Registry.Resolver ~process:pid "txns_checked";
       obs_conflicts = Fdb_obs.Registry.counter reg ~role:Fdb_obs.Registry.Resolver ~process:pid "conflicts";
       obs_too_old = Fdb_obs.Registry.counter reg ~role:Fdb_obs.Registry.Resolver ~process:pid "too_old";

@@ -72,14 +72,15 @@ let lock_old_logs t (old : Message.coordinated_state) =
 (* Merge the unpopped entries of all responding old LogServers: same LSN on
    different servers carries different tags' payloads. *)
 let merge_entries (replies : (Types.version * Types.version * Message.log_entry list) list) rv =
-  let table : (Types.version, Message.log_entry) Hashtbl.t = Hashtbl.create 1024 in
+  let module Det_tbl = Fdb_util.Det_tbl in
+  let table : (Types.version, Message.log_entry) Det_tbl.t = Det_tbl.create ~size:1024 () in
   List.iter
     (fun (_, _, entries) ->
       List.iter
         (fun (e : Message.log_entry) ->
           if e.Message.le_lsn <= rv then
-            match Hashtbl.find_opt table e.Message.le_lsn with
-            | None -> Hashtbl.add table e.Message.le_lsn e
+            match Det_tbl.find_opt table e.Message.le_lsn with
+            | None -> Det_tbl.add table e.Message.le_lsn e
             | Some existing ->
                 let merged =
                   List.fold_left
@@ -87,12 +88,12 @@ let merge_entries (replies : (Types.version * Types.version * Message.log_entry 
                       if List.mem_assoc tag acc then acc else (tag, muts) :: acc)
                     existing.Message.le_payload e.Message.le_payload
                 in
-                Hashtbl.replace table e.Message.le_lsn
+                Det_tbl.replace table e.Message.le_lsn
                   { existing with Message.le_payload = merged })
         entries)
     replies;
-  Hashtbl.fold (fun _ e acc -> e :: acc) table []
-  |> List.sort (fun a b -> compare a.Message.le_lsn b.Message.le_lsn)
+  (* LSN-sorted by Det_tbl's key order already. *)
+  List.map snd (Det_tbl.to_sorted_list table)
 
 (* Ask workers to host a role, walking machines round-robin from [offset]
    until one answers. Retries forever: recovery cannot proceed without the
@@ -289,8 +290,7 @@ let recover t =
       in
       (* Phase 5: recruit proxies (they can start committing immediately). *)
       let* proxy_eps =
-        recruit_list cfg.Config.proxies (fun i ->
-            ignore i;
+        recruit_list cfg.Config.proxies (fun _rank ->
             Message.Recruit_proxy
               {
                 rp_epoch = t.epoch;

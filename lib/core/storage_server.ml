@@ -79,7 +79,11 @@ let apply_mutation t v (m : Mutation.t) =
 let wake_waiters t =
   let ready, waiting = List.partition (fun (v, _) -> v <= t.version) t.waiters in
   t.waiters <- waiting;
-  List.iter (fun (_, p) -> ignore (Future.try_fulfill p ())) ready
+  (* A false fulfil would strand a read waiter forever: trace it. *)
+  List.iter
+    (fun (_, p) ->
+      if not (Future.try_fulfill p ()) then Trace.emit "ss_waiter_lost" [])
+    ready
 
 let apply_entries t ~as_of_epoch entries end_v kcv =
   (* Strictly sequential: mutations must enter the window in version order.

@@ -77,6 +77,8 @@ let start_election t proc =
         (Context.paxos_transport t.ctx ~from:proc)
         ~reg:"cc-leader" ~proposer:(Context.proposer_id proc)
     in
+    (* The election handle is owned by its callbacks; the worker never
+       stops campaigning explicitly. *)
     ignore
       (Fdb_paxos.Election.start reg
          ~self:(string_of_int t.machine_id)
@@ -88,7 +90,8 @@ let start_election t proc =
                Cluster_controller.stop cc;
                t.cc <- None
            | None -> ())
-         ())
+         ()
+       : Fdb_paxos.Election.t)
   end
 
 let boot t () =

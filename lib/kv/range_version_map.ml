@@ -20,7 +20,7 @@ let note_write t ~from ~until version =
     (* Raising [from..until) to [version] subsumes interior splits: drop
        interior entries and write a single one at [from]. *)
     let prev = covering_version t from in
-    ignore (Skiplist.remove_range t.sl ~from ~until);
+    ignore (Skiplist.remove_range t.sl ~from ~until : int);
     Skiplist.insert t.sl from (if version > prev then version else prev)
   end
 
@@ -43,7 +43,7 @@ let expire t ~before =
       | [] -> ()
       | (k, v) :: rest ->
           let old = v < before in
-          if old && prev_old && k <> "" then ignore (Skiplist.remove t.sl k);
+          if old && prev_old && k <> "" then ignore (Skiplist.remove t.sl k : bool);
           walk old rest
     in
     match entries with

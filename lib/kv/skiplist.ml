@@ -132,7 +132,7 @@ let fold_range t ?from ?until f init =
 
 let remove_range t ~from ~until =
   let doomed = fold_range t ~from ~until (fun acc k _ -> k :: acc) [] in
-  List.iter (fun k -> ignore (remove t k)) doomed;
+  List.iter (fun k -> ignore (remove t k : bool)) doomed;
   List.length doomed
 
 let to_list t = List.rev (fold_range t (fun acc k v -> (k, v) :: acc) [])

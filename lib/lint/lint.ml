@@ -1,0 +1,326 @@
+(* The determinism lint. See lint.mli and DESIGN.md ("The determinism
+   contract") for the ruleset. Implementation: parse each file with the
+   compiler's own frontend (Parse + Ast_iterator from compiler-libs) — no
+   typing, no ppx, no new dependencies — and pattern-match forbidden
+   identifier paths syntactically. That keeps the pass fast (<5s over the
+   whole tree) and robust to partial builds, at the cost of not seeing
+   through aliases; the module_expr check below closes the obvious
+   laundering hole ([module U = Unix], [open Random]). *)
+
+type rule = R1 | R2 | R3 | R4
+
+let all_rules = [ R1; R2; R3; R4 ]
+let rule_name = function R1 -> "R1" | R2 -> "R2" | R3 -> "R3" | R4 -> "R4"
+
+let rule_of_string = function
+  | "R1" -> Some R1
+  | "R2" -> Some R2
+  | "R3" -> Some R3
+  | "R4" -> Some R4
+  | _ -> None
+
+let explain = function
+  | R1 ->
+      "R1: no wall-clock or ambient randomness.\n\
+       Unix.*, Sys.time and Stdlib.Random read state the simulator does not\n\
+       control, so two runs of the same seed diverge and a failing seed no\n\
+       longer reproduces. Use Engine.now for time and a seeded\n\
+       Fdb_util.Det_rng stream (Engine.fork_rng) for randomness. The only\n\
+       exemptions are lib/util/det_rng.ml itself and files listed in the\n\
+       checked-in whitelist."
+  | R2 ->
+      "R2: no raw Hashtbl enumeration outside lib/util.\n\
+       Hashtbl.iter/fold/to_seq order depends on the hash of the keys and\n\
+       the table's internal resize history — it is stable within one binary\n\
+       but it is not part of any contract, and any simulation decision made\n\
+       in that order is a latent nondeterminism bug. Go through\n\
+       Fdb_util.Det_tbl, whose enumeration is key-sorted. Point lookups\n\
+       (find_opt/replace/mem) on plain Hashtbl remain fine."
+  | R3 ->
+      "R3: every ignore must carry a type annotation.\n\
+       ignore (f x) silently discards whatever f returns — including a\n\
+       bool from Future.try_fulfill, where a dropped false is a lost\n\
+       wakeup, or a Future.t whose error side-channel vanishes. Write\n\
+       ignore (f x : bool) so the dropped type is visible in review and\n\
+       breaks loudly when a signature changes."
+  | R4 ->
+      "R4: no print_*/Printf.printf/Format.printf/exit in library code.\n\
+       Library output must flow through Trace (simulation-visible, part of\n\
+       the trace checksum) or a formatter handed in by the caller; stdout\n\
+       writes and process exit belong to bin/ drivers only."
+
+type diagnostic = {
+  d_file : string;
+  d_line : int;
+  d_col : int;
+  d_rule : rule option;
+  d_msg : string;
+}
+
+let pp_diagnostic fmt d =
+  Format.fprintf fmt "%s:%d:%d: [%s] %s" d.d_file d.d_line d.d_col
+    (match d.d_rule with Some r -> rule_name r | None -> "lint")
+    d.d_msg
+
+type whitelist = (rule * string) list
+
+(* ---- paths and rule applicability ---- *)
+
+let normalize path =
+  let path = String.map (fun c -> if c = '\\' then '/' else c) path in
+  if String.length path > 2 && String.sub path 0 2 = "./" then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+let applies rule path =
+  match rule with
+  | R1 -> path <> "lib/util/det_rng.ml"
+  | R2 -> not (String.starts_with ~prefix:"lib/util/" path)
+  | R3 -> true
+  | R4 -> String.starts_with ~prefix:"lib/" path
+
+let parse_whitelist src =
+  String.split_on_char '\n' src
+  |> List.concat_map (fun line ->
+         let line =
+           match String.index_opt line '#' with
+           | Some i -> String.sub line 0 i
+           | None -> line
+         in
+         let line = String.trim line in
+         if line = "" then []
+         else
+           match String.index_opt line ' ' with
+           | None ->
+               failwith
+                 ("lint whitelist: malformed line (want \"RULE path\"): " ^ line)
+           | Some i -> (
+               let r = String.sub line 0 i in
+               let p =
+                 String.trim (String.sub line i (String.length line - i))
+               in
+               match rule_of_string r with
+               | Some rule -> [ (rule, normalize p) ]
+               | None -> failwith ("lint whitelist: unknown rule " ^ r)))
+
+(* ---- suppression comments ----
+   (* fdb-lint: allow R2 -- reason *) suppresses RULE on its own line; when
+   the comment stands alone on a line it also covers the next line. The
+   reason is mandatory: a suppression that cannot justify itself is a
+   diagnostic, not an exemption. *)
+
+let find_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* Built by concatenation so the scanner does not match its own source. *)
+let marker = "fdb-lint" ^ ":"
+
+let scan_suppressions ~path src =
+  let supp = ref [] and errs = ref [] in
+  let err line msg =
+    errs :=
+      { d_file = path; d_line = line; d_col = 0; d_rule = None; d_msg = msg }
+      :: !errs
+  in
+  let lines = String.split_on_char '\n' src in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      match find_sub line marker with
+      | None -> ()
+      | Some idx -> (
+          let rest =
+            String.sub line
+              (idx + String.length marker)
+              (String.length line - idx - String.length marker)
+          in
+          (* strip the comment closer, if on the same line *)
+          let rest =
+            match find_sub rest "*)" with
+            | Some j -> String.sub rest 0 j
+            | None -> rest
+          in
+          let words =
+            String.split_on_char ' ' rest |> List.filter (fun w -> w <> "")
+          in
+          match words with
+          | "allow" :: rule_word :: reason -> (
+              match rule_of_string rule_word with
+              | None ->
+                  err lineno
+                    ("fdb-lint suppression names unknown rule \"" ^ rule_word
+                   ^ "\"")
+              | Some rule ->
+                  (* drop a leading "--" separator, then require substance *)
+                  let reason =
+                    match reason with "--" :: r -> r | r -> r
+                  in
+                  if reason = [] then
+                    err lineno
+                      ("fdb-lint suppression for " ^ rule_name rule
+                     ^ " has no reason; write (* " ^ marker ^ " allow "
+                     ^ rule_name rule ^ " -- why *)")
+                  else begin
+                    let standalone =
+                      match find_sub line "(*" with
+                      | Some j when j < idx ->
+                          String.trim (String.sub line 0 j) = ""
+                      | _ -> false
+                    in
+                    supp := (lineno, rule) :: !supp;
+                    if standalone then supp := (lineno + 1, rule) :: !supp
+                  end)
+          | _ ->
+              err lineno
+                ("malformed fdb-lint comment; write (* " ^ marker
+               ^ " allow RULE -- reason *)")))
+    lines;
+  (!supp, !errs)
+
+(* ---- the AST pass ---- *)
+
+let strip_stdlib p =
+  if String.starts_with ~prefix:"Stdlib." p then
+    String.sub p 7 (String.length p - 7)
+  else p
+
+let r4_prints =
+  [
+    "print_string";
+    "print_endline";
+    "print_newline";
+    "print_char";
+    "print_int";
+    "print_float";
+    "print_bytes";
+  ]
+
+let check_ident violation loc lid =
+  let p = String.concat "." (Longident.flatten lid) in
+  let bare = strip_stdlib p in
+  (* R1 *)
+  if String.starts_with ~prefix:"Unix." bare then
+    violation R1 loc
+      (p ^ " reads OS state; use Engine.now / Engine.sleep / Fdb_sim.Disk")
+  else if bare = "Sys.time" then
+    violation R1 loc "Sys.time is wall-clock; use Engine.now"
+  else if String.starts_with ~prefix:"Random." bare then
+    violation R1 loc
+      (p ^ " is unseeded ambient randomness; use a Fdb_util.Det_rng stream \
+         (Engine.fork_rng)");
+  (* R2 *)
+  (match bare with
+  | "Hashtbl.iter" | "Hashtbl.fold" | "Hashtbl.to_seq" | "Hashtbl.to_seq_keys"
+  | "Hashtbl.to_seq_values" ->
+      violation R2 loc
+        (p ^ " enumerates in hash order; use Fdb_util.Det_tbl (key-sorted)")
+  | _ -> ());
+  (* R4 *)
+  if List.mem bare r4_prints then
+    violation R4 loc (p ^ " writes to stdout from library code; use Trace")
+  else
+    match bare with
+    | "Printf.printf" | "Format.printf" ->
+        violation R4 loc (p ^ " writes to stdout from library code; use Trace \
+           or take a formatter")
+    | "exit" ->
+        violation R4 loc
+          "exit from library code; return an error and let bin/ decide"
+    | _ -> ()
+
+let is_ignore_ident (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Lident "ignore"; _ }
+  | Pexp_ident { txt = Ldot (Lident "Stdlib", "ignore"); _ } ->
+      true
+  | _ -> false
+
+let walk violation (ast : Parsetree.structure) =
+  let open Ast_iterator in
+  let expr self (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> check_ident violation loc txt
+    | Pexp_apply (fn, [ (Nolabel, arg) ]) when is_ignore_ident fn -> (
+        match arg.pexp_desc with
+        | Pexp_constraint _ -> ()
+        | _ ->
+            violation R3 e.pexp_loc
+              "ignore without a type annotation; write ignore (e : ty) so the \
+               dropped value is visible")
+    | _ -> ());
+    default_iterator.expr self e
+  in
+  let module_expr self (m : Parsetree.module_expr) =
+    (match m.pmod_desc with
+    | Pmod_ident { txt; loc } -> (
+        match Longident.flatten txt with
+        | "Unix" :: _ ->
+            violation R1 loc "aliasing/opening Unix smuggles OS state in"
+        | "Random" :: _ ->
+            violation R1 loc
+              "aliasing/opening Stdlib.Random smuggles ambient randomness in"
+        | _ -> ())
+    | _ -> ());
+    default_iterator.module_expr self m
+  in
+  let it = { default_iterator with expr; module_expr } in
+  it.structure it ast
+
+let parse ~path src =
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf path;
+  match Parse.implementation lexbuf with
+  | ast -> Ok ast
+  | exception exn ->
+      let line =
+        match exn with
+        | Syntaxerr.Error e ->
+            (Syntaxerr.location_of_error e).loc_start.Lexing.pos_lnum
+        | _ -> 1
+      in
+      Error
+        {
+          d_file = path;
+          d_line = line;
+          d_col = 0;
+          d_rule = None;
+          d_msg = "parse error: " ^ Printexc.to_string exn;
+        }
+
+let lint_source ?(whitelist = []) ~path src =
+  let path = normalize path in
+  let diags = ref [] in
+  let supp, supp_errs = scan_suppressions ~path src in
+  List.iter (fun d -> diags := d :: !diags) supp_errs;
+  let violation rule (loc : Location.t) msg =
+    if applies rule path && not (List.mem (rule, path) whitelist) then begin
+      let line = loc.loc_start.Lexing.pos_lnum in
+      let col = loc.loc_start.Lexing.pos_cnum - loc.loc_start.Lexing.pos_bol in
+      if not (List.exists (fun (l, r) -> l = line && r = rule) supp) then
+        diags :=
+          { d_file = path; d_line = line; d_col = col; d_rule = Some rule; d_msg = msg }
+          :: !diags
+    end
+  in
+  (match parse ~path src with
+  | Error d -> diags := d :: !diags
+  | Ok ast -> walk violation ast);
+  List.sort
+    (fun a b -> compare (a.d_line, a.d_col, a.d_msg) (b.d_line, b.d_col, b.d_msg))
+    !diags
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file ?whitelist ?as_path path =
+  let logical = match as_path with Some p -> p | None -> path in
+  lint_source ?whitelist ~path:logical (read_file path)

@@ -1,0 +1,61 @@
+(** [fdb_lint]: the determinism lint (DESIGN.md, "The determinism contract").
+
+    A compiler-libs based static-analysis pass (Parse + [Ast_iterator], no
+    type information needed) that enforces the simulation-safety ruleset
+    over every [.ml] file under [lib/], [bin/], and [bench/]:
+
+    - {b R1} no wall-clock or ambient randomness: [Unix.*], [Sys.time],
+      [Stdlib.Random] are forbidden outside [Fdb_util.Det_rng] and the
+      whitelist.
+    - {b R2} no raw [Hashtbl.iter]/[fold]/[to_seq] outside [lib/util]:
+      iteration order must come from [Fdb_util.Det_tbl]'s key-sorted
+      enumeration.
+    - {b R3} every [ignore e] must carry a type annotation
+      ([ignore (e : bool)]) so dropped [Future.t]s and booleans are visible
+      in review.
+    - {b R4} no [print_*]/[Printf.printf]/[exit] in library code
+      ([lib/] only) — use [Trace]/[logs].
+
+    Per-line suppressions: [(* fdb-lint: allow R2 -- reason *)] on the
+    violating line, or alone on the line above. The reason is mandatory;
+    a suppression without one is itself a diagnostic. *)
+
+type rule = R1 | R2 | R3 | R4
+
+val rule_name : rule -> string
+val rule_of_string : string -> rule option
+
+val explain : rule -> string
+(** Long-form rationale shown by [fdb_lint --explain RULE]. *)
+
+val all_rules : rule list
+
+type diagnostic = {
+  d_file : string;  (** repo-relative path *)
+  d_line : int;  (** 1-based *)
+  d_col : int;  (** 0-based, matching compiler convention *)
+  d_rule : rule option;  (** [None] for tooling errors (parse failure, malformed suppression) *)
+  d_msg : string;
+}
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+(** Renders [file:line:col: [RULE] message]. *)
+
+type whitelist = (rule * string) list
+(** Exempt (rule, repo-relative file) pairs. *)
+
+val parse_whitelist : string -> whitelist
+(** Parse the checked-in whitelist file contents: one [RULE path] pair per
+    line, [#] comments and blank lines ignored. Unknown rules raise
+    [Failure]. *)
+
+val lint_source : ?whitelist:whitelist -> path:string -> string -> diagnostic list
+(** [lint_source ~path src] lints source text [src] as if it lived at
+    repo-relative [path] (which decides rule applicability: R2 is waived
+    under [lib/util/], R4 applies only under [lib/]). Diagnostics come back
+    in (line, col) order. *)
+
+val lint_file : ?whitelist:whitelist -> ?as_path:string -> string -> diagnostic list
+(** Read and lint one file. [as_path] overrides the repo-relative path used
+    for rule applicability and reporting (tests lint fixture files as if
+    they sat under [lib/]). *)

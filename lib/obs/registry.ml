@@ -10,6 +10,7 @@
    the metrics plane doubles as a determinism oracle for the swarm. *)
 
 module Histogram = Fdb_util.Histogram
+module Det_tbl = Fdb_util.Det_tbl
 
 type role = Proxy | Resolver | Log | Storage | Ratekeeper | Sequencer | Client
 
@@ -24,15 +25,10 @@ let role_name = function
 
 let all_roles = [ Proxy; Resolver; Log; Storage; Ratekeeper; Sequencer; Client ]
 
-let role_order = function
-  | Proxy -> 0
-  | Resolver -> 1
-  | Log -> 2
-  | Storage -> 3
-  | Ratekeeper -> 4
-  | Sequencer -> 5
-  | Client -> 6
-
+(* Field order matters: polymorphic compare on [key] orders by role (in
+   constructor-declaration order, which matches [all_roles]), then process,
+   then metric name — the canonical order every dump uses, supplied for
+   free by Det_tbl's key-sorted enumeration. *)
 type key = { k_role : role; k_process : int; k_metric : string }
 
 type cell =
@@ -40,12 +36,12 @@ type cell =
   | Gauge_cell of float ref
   | Hist_cell of Histogram.t
 
-type t = { enabled : bool; cells : (key, cell) Hashtbl.t }
+type t = { enabled : bool; cells : (key, cell) Det_tbl.t }
 
-let create ?(enabled = true) () = { enabled; cells = Hashtbl.create 256 }
-let disabled = { enabled = false; cells = Hashtbl.create 1 }
+let create ?(enabled = true) () = { enabled; cells = Det_tbl.create ~size:256 () }
+let disabled = { enabled = false; cells = Det_tbl.create ~size:1 () }
 let is_enabled t = t.enabled
-let clear t = Hashtbl.reset t.cells
+let clear t = Det_tbl.reset t.cells
 
 (* ---------- write-side handles ---------- *)
 
@@ -53,13 +49,7 @@ type counter = No_counter | Counter of int ref
 type gauge = No_gauge | Gauge of float ref
 type timer = No_timer | Timer of Histogram.t
 
-let find_or_add t key make =
-  match Hashtbl.find_opt t.cells key with
-  | Some c -> c
-  | None ->
-      let c = make () in
-      Hashtbl.add t.cells key c;
-      c
+let find_or_add t key make = Det_tbl.find_or_add t.cells key make
 
 let counter t ~role ~process name =
   if not t.enabled then No_counter
@@ -101,23 +91,25 @@ let observe h v = match h with No_timer -> () | Timer hist -> Histogram.add hist
 (* ---------- read side ---------- *)
 
 let counter_value t ~role ~process name =
-  match Hashtbl.find_opt t.cells { k_role = role; k_process = process; k_metric = name } with
+  match Det_tbl.find_opt t.cells { k_role = role; k_process = process; k_metric = name } with
   | Some (Counter_cell r) -> !r
   | _ -> 0
 
 let gauge_value t ~role ~process name =
-  match Hashtbl.find_opt t.cells { k_role = role; k_process = process; k_metric = name } with
+  match Det_tbl.find_opt t.cells { k_role = role; k_process = process; k_metric = name } with
   | Some (Gauge_cell r) -> Some !r
   | _ -> None
 
+(* Det_tbl folds in ascending key order; within a fixed (role, metric) that
+   is ascending process id, so consing + rev is already sorted. *)
 let by_process t ~role name pick =
-  Hashtbl.fold
+  Det_tbl.fold
     (fun k cell acc ->
       if k.k_role = role && k.k_metric = name then
         match pick cell with Some v -> (k.k_process, v) :: acc | None -> acc
       else acc)
     t.cells []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.rev
 
 let counters t ~role name =
   by_process t ~role name (function Counter_cell r -> Some !r | _ -> None)
@@ -131,17 +123,10 @@ let histograms t ~role name =
 let sum_counter t ~role name =
   List.fold_left (fun acc (_, v) -> acc + v) 0 (counters t ~role name)
 
-(* All cells, in a canonical deterministic order. Histograms are returned by
-   reference: readers must treat them as read-only. *)
-let entries t =
-  Hashtbl.fold (fun k cell acc -> (k, cell) :: acc) t.cells []
-  |> List.sort (fun (a, _) (b, _) ->
-         match compare (role_order a.k_role) (role_order b.k_role) with
-         | 0 -> (
-             match compare a.k_process b.k_process with
-             | 0 -> compare a.k_metric b.k_metric
-             | c -> c)
-         | c -> c)
+(* All cells, in the canonical (role, process, metric) order — exactly
+   Det_tbl's key order on [key]. Histograms are returned by reference:
+   readers must treat them as read-only. *)
+let entries t = Det_tbl.to_sorted_list t.cells
 
 (* ---------- deterministic serialization ---------- *)
 

@@ -7,6 +7,7 @@
 open Fdb_sim
 open Future.Syntax
 module Histogram = Fdb_util.Histogram
+module Det_tbl = Fdb_util.Det_tbl
 
 type lat = {
   l_count : int;
@@ -40,52 +41,45 @@ let snapshot ~now (reg : Registry.t) : doc =
   let roles =
     List.filter_map
       (fun role ->
-        let procs = ref [] in
-        let counters = ref [] in
-        let gauges = ref [] in
-        let hists = ref [] in
+        (* Det_tbl accumulators: enumeration comes out sorted by metric
+           name, so the document needs no ad-hoc post-sorts. *)
+        let procs : (int, unit) Det_tbl.t = Det_tbl.create () in
+        let counters : (string, int) Det_tbl.t = Det_tbl.create () in
+        let gauges : (string, float * float) Det_tbl.t = Det_tbl.create () in
+        let hists : (string, Histogram.t) Det_tbl.t = Det_tbl.create () in
         List.iter
           (fun ((k : Registry.key), cell) ->
             if k.Registry.k_role = role then begin
-              if not (List.mem k.Registry.k_process !procs) then
-                procs := k.Registry.k_process :: !procs;
+              Det_tbl.replace procs k.Registry.k_process ();
               let name = k.Registry.k_metric in
               match cell with
               | Registry.Counter_cell r ->
-                  counters :=
-                    (match List.assoc_opt name !counters with
-                    | Some sum -> (name, sum + !r) :: List.remove_assoc name !counters
-                    | None -> (name, !r) :: !counters)
-              | Registry.Gauge_cell r ->
-                  gauges :=
-                    (match List.assoc_opt name !gauges with
-                    | Some (lo, hi) ->
-                        (name, (Float.min lo !r, Float.max hi !r))
-                        :: List.remove_assoc name !gauges
-                    | None -> (name, (!r, !r)) :: !gauges)
-              | Registry.Hist_cell h ->
-                  let dst =
-                    match List.assoc_opt name !hists with
-                    | Some dst -> dst
-                    | None ->
-                        let dst = Histogram.create () in
-                        hists := (name, dst) :: !hists;
-                        dst
+                  let sum =
+                    match Det_tbl.find_opt counters name with Some s -> s | None -> 0
                   in
+                  Det_tbl.replace counters name (sum + !r)
+              | Registry.Gauge_cell r ->
+                  let lo, hi =
+                    match Det_tbl.find_opt gauges name with
+                    | Some (lo, hi) -> (Float.min lo !r, Float.max hi !r)
+                    | None -> (!r, !r)
+                  in
+                  Det_tbl.replace gauges name (lo, hi)
+              | Registry.Hist_cell h ->
+                  let dst = Det_tbl.find_or_add hists name Histogram.create in
                   Histogram.merge_into ~dst h
             end)
           all_entries;
-        if !procs = [] then None
+        if Det_tbl.length procs = 0 then None
         else
-          let sorted l = List.sort (fun (a, _) (b, _) -> compare a b) l in
           Some
             {
               rd_role = Registry.role_name role;
-              rd_processes = List.length !procs;
-              rd_counters = sorted !counters;
-              rd_gauges = sorted !gauges;
+              rd_processes = Det_tbl.length procs;
+              rd_counters = Det_tbl.to_sorted_list counters;
+              rd_gauges = Det_tbl.to_sorted_list gauges;
               rd_latencies =
-                sorted (List.map (fun (n, h) -> (n, lat_of_hist h)) !hists);
+                List.map (fun (n, h) -> (n, lat_of_hist h)) (Det_tbl.to_sorted_list hists);
             })
       Registry.all_roles
   in

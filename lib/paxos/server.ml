@@ -1,5 +1,6 @@
 open Fdb_sim
 open Future.Syntax
+module Det_tbl = Fdb_util.Det_tbl
 
 type reg_state = {
   mutable promised : Wire.ballot;
@@ -9,14 +10,14 @@ type reg_state = {
 type t = {
   disk : Disk.t;
   file : string;
-  regs : (string, reg_state) Hashtbl.t;
+  regs : (string, reg_state) Det_tbl.t;
 }
 
 type persisted = (string * (Wire.ballot * (Wire.ballot * string) option)) list
 
 let recover ~disk ~file () =
   let* contents = Disk.read_file disk file in
-  let regs = Hashtbl.create 8 in
+  let regs = Det_tbl.create ~size:8 () in
   (match contents with
   | None -> ()
   | Some s -> (
@@ -24,24 +25,26 @@ let recover ~disk ~file () =
       | entries ->
           List.iter
             (fun (name, (promised, accepted)) ->
-              Hashtbl.replace regs name { promised; accepted })
+              Det_tbl.replace regs name { promised; accepted })
             entries
       | exception _ -> ()));
   Future.return { disk; file; regs }
 
+(* Det_tbl.fold is name-sorted, so the persisted image of the register
+   file is canonical: two runs of a seed write identical bytes. *)
 let persist t =
   let entries =
-    Hashtbl.fold (fun name st acc -> (name, (st.promised, st.accepted)) :: acc) t.regs []
+    Det_tbl.fold (fun name st acc -> (name, (st.promised, st.accepted)) :: acc) t.regs []
   in
   let* () = Disk.write_file t.disk t.file (Marshal.to_string (entries : persisted) []) in
   Disk.sync t.disk t.file
 
 let get_reg t name =
-  match Hashtbl.find_opt t.regs name with
+  match Det_tbl.find_opt t.regs name with
   | Some st -> st
   | None ->
       let st = { promised = Wire.ballot_zero; accepted = None } in
-      Hashtbl.add t.regs name st;
+      Det_tbl.add t.regs name st;
       st
 
 let handle t (req : Wire.request) : Wire.response Future.t =
@@ -67,4 +70,4 @@ let handle t (req : Wire.request) : Wire.response Future.t =
       end
       else Future.return (Wire.Nacked { higher = st.promised })
 
-let dump t = Hashtbl.fold (fun name st acc -> (name, st.accepted) :: acc) t.regs []
+let dump t = Det_tbl.fold (fun name st acc -> (name, st.accepted) :: acc) t.regs []

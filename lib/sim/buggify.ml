@@ -1,9 +1,10 @@
 module Rng = Fdb_util.Det_rng
+module Det_tbl = Fdb_util.Det_tbl
 
 let enabled = ref false
 let rng = ref (Rng.create 0L)
 let point_active : (string, bool) Hashtbl.t = Hashtbl.create 32
-let fired : (string, unit) Hashtbl.t = Hashtbl.create 32
+let fired : (string, unit) Det_tbl.t = Det_tbl.create ~size:32 ()
 
 let activation_probability = 0.25
 
@@ -11,12 +12,12 @@ let configure ~enabled:e ~rng:r =
   enabled := e;
   rng := r;
   Hashtbl.reset point_active;
-  Hashtbl.reset fired
+  Det_tbl.reset fired
 
 let reset () =
   enabled := false;
   Hashtbl.reset point_active;
-  Hashtbl.reset fired
+  Det_tbl.reset fired
 
 let on ?(p = 0.25) name =
   if not !enabled then false
@@ -30,7 +31,7 @@ let on ?(p = 0.25) name =
           a
     in
     if active && Rng.chance !rng p then begin
-      if not (Hashtbl.mem fired name) then Hashtbl.add fired name ();
+      Det_tbl.replace fired name ();
       true
     end
     else false
@@ -38,4 +39,4 @@ let on ?(p = 0.25) name =
 
 let delay ?p name = if on ?p name then Rng.float !rng 1.0 else 0.0
 
-let points_hit () = Hashtbl.fold (fun k () acc -> k :: acc) fired [] |> List.sort compare
+let points_hit () = Det_tbl.keys fired

@@ -1,4 +1,5 @@
 module Rng = Fdb_util.Det_rng
+module Det_tbl = Fdb_util.Det_tbl
 
 type file = { mutable records : string list (* reversed *); mutable durable : int }
 
@@ -7,7 +8,7 @@ type t = {
   seek : float;
   bytes_per_sec : float;
   sync_latency : float;
-  files : (string, file) Hashtbl.t;
+  files : (string, file) Det_tbl.t;
   mutable busy_until : float;
   mutable written : float;
 }
@@ -18,7 +19,7 @@ let create ?(seek = 8e-5) ?(bytes_per_sec = 5e8) ?(sync_latency = 3e-4) ~name ()
     seek;
     bytes_per_sec;
     sync_latency;
-    files = Hashtbl.create 16;
+    files = Det_tbl.create ~size:16 ();
     busy_until = 0.0;
     written = 0.0;
   }
@@ -32,11 +33,11 @@ let disk_op t dt =
   Engine.sleep (finish -. now)
 
 let get_file t name =
-  match Hashtbl.find_opt t.files name with
+  match Det_tbl.find_opt t.files name with
   | Some f -> f
   | None ->
       let f = { records = []; durable = 0 } in
-      Hashtbl.add t.files name f;
+      Det_tbl.add t.files name f;
       f
 
 let append t name record =
@@ -54,7 +55,7 @@ let sync t name =
       Future.return ())
 
 let read_all t name =
-  match Hashtbl.find_opt t.files name with
+  match Det_tbl.find_opt t.files name with
   | None -> Future.return []
   | Some f ->
       let records = List.rev f.records in
@@ -69,19 +70,22 @@ let write_file t name contents =
 
 let read_file t name =
   let v =
-    match Hashtbl.find_opt t.files name with
+    match Det_tbl.find_opt t.files name with
     | None | Some { records = []; _ } -> None
     | Some { records = r :: _; _ } -> Some r
   in
   Future.map (disk_op t t.seek) (fun () -> v)
 
 let delete t name =
-  Hashtbl.remove t.files name;
+  Det_tbl.remove t.files name;
   disk_op t t.seek
 
+(* Iterate files in name order: the corrupting branch draws from the
+   engine RNG per unsynced record, so enumeration order is part of the
+   deterministic replay contract. *)
 let crash t =
   let corrupting = Buggify.on ~p:0.5 "disk_partial_write" in
-  Hashtbl.iter
+  Det_tbl.iter
     (fun _ f ->
       let all = Array.of_list (List.rev f.records) in
       let n = Array.length all in
@@ -107,7 +111,7 @@ let attach t p = Process.on_reboot p (fun () -> crash t)
 let bytes_written t = t.written
 
 let drop_prefix t name n =
-  match Hashtbl.find_opt t.files name with
+  match Det_tbl.find_opt t.files name with
   | None -> ()
   | Some f ->
       let total = List.length f.records in

@@ -79,9 +79,36 @@ type engine = {
   root_rng : Rng.t;
   mutable proc_ctx : Process.t option;
   mutable buggify : bool;
+  mutable csum : int64; (* running FNV-1a over executed events *)
 }
 
 let current : engine option ref = ref None
+
+(* ---- trace checksum (paper §4's nondeterminism backstop) ----
+   Every executed event — each dispatched task's (time, pid, seq) and each
+   Trace event kind — is folded into a running FNV-1a64. Two runs of the
+   same seed must produce the same final checksum; any wall-clock read,
+   unseeded RNG draw, or unordered iteration shows up as a divergence. *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv1a_byte h b =
+  Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) fnv_prime
+
+let fnv1a_int64 h v =
+  let h = ref h in
+  for i = 0 to 7 do
+    h := fnv1a_byte !h (Int64.to_int (Int64.shift_right_logical v (8 * i)))
+  done;
+  !h
+
+let fnv1a_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := fnv1a_byte !h (Char.code c)) s;
+  !h
+
+let last_checksum = ref 0L
 
 let get () =
   match !current with
@@ -90,6 +117,8 @@ let get () =
 
 let is_running () = Option.is_some !current
 let now () = (get ()).clock
+let trace_checksum () = (get ()).csum
+let last_run_checksum () = !last_checksum
 let buggify_enabled () = match !current with Some e -> e.buggify | None -> false
 let pending_tasks () = (get ()).heap.Heap.len
 
@@ -146,11 +175,14 @@ let timeout dt fut =
   else begin
     let out, p = Future.make () in
     Future.on_resolve fut (fun r ->
+        (* false = the timeout fired first; the result is intentionally dropped. *)
         ignore
-          (match r with
-          | Ok v -> Future.try_fulfill p v
-          | Error e -> Future.try_break p e));
-    schedule ~after:dt (fun () -> ignore (Future.try_break p Timed_out));
+          ((match r with
+           | Ok v -> Future.try_fulfill p v
+           | Error e -> Future.try_break p e)
+           : bool));
+    (* false = the underlying future won the race; not a lost wakeup. *)
+    schedule ~after:dt (fun () -> ignore (Future.try_break p Timed_out : bool));
     out
   end
 
@@ -197,15 +229,19 @@ let run ?(seed = 1L) ?(max_time = 1e7) ?(buggify = false) f =
       root_rng = Rng.create seed;
       proc_ctx = None;
       buggify;
+      csum = fnv1a_int64 fnv_offset seed;
     }
   in
   current := Some e;
   Process.reset_pids ();
   Trace.reset ();
   Trace.set_clock (fun () -> e.clock);
+  Trace.set_observer (fun kind -> e.csum <- fnv1a_string e.csum kind);
   Buggify.configure ~enabled:buggify ~rng:(Rng.split e.root_rng);
   let finish () =
     Buggify.reset ();
+    Trace.clear_observer ();
+    last_checksum := e.csum;
     current := None
   in
   match
@@ -229,6 +265,15 @@ let run ?(seed = 1L) ?(max_time = 1e7) ?(buggify = false) f =
                 | Some (p, inc) -> Process.is_live p inc
               in
               if live then begin
+                let pid =
+                  match task.t_owner with Some (p, _) -> p.Process.pid | None -> -1
+                in
+                e.csum <-
+                  fnv1a_int64
+                    (fnv1a_int64
+                       (fnv1a_int64 e.csum (Int64.bits_of_float task.t_time))
+                       (Int64.of_int pid))
+                    (Int64.of_int task.t_seq);
                 let saved = e.proc_ctx in
                 e.proc_ctx <- (match task.t_owner with Some (p, _) -> Some p | None -> None);
                 (try task.t_run ()

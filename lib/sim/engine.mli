@@ -82,3 +82,13 @@ val is_running : unit -> bool
 
 val pending_tasks : unit -> int
 (** Number of queued events (diagnostics). *)
+
+val trace_checksum : unit -> int64
+(** Running FNV-1a64 over every executed event so far in the current run:
+    each dispatched task's (time, pid, seq) plus every {!Trace.emit} kind.
+    Identical seeds must yield identical final checksums — this is the
+    dynamic backstop behind the determinism lint (see DESIGN.md). *)
+
+val last_run_checksum : unit -> int64
+(** Final {!trace_checksum} of the most recently finished {!run}
+    (including runs that ended in an exception). *)

@@ -107,7 +107,7 @@ let all ts =
       List.iteri
         (fun i t ->
           on_resolve t (function
-            | Error e -> ignore (try_break p e)
+            | Error e -> ignore (try_break p e : bool)
             | Ok v ->
                 results.(i) <- Some v;
                 decr remaining;
@@ -115,7 +115,8 @@ let all ts =
                   ignore
                     (try_fulfill p
                        (Array.to_list results
-                       |> List.map (function Some v -> v | None -> assert false)))))
+                       |> List.map (function Some v -> v | None -> assert false))
+                     : bool)))
         ts;
       out
 
@@ -133,7 +134,7 @@ let race ts =
   | [] -> fail Any_empty
   | _ ->
       let out, p = make () in
-      List.iter (fun t -> on_resolve t (fun r -> ignore (try_resolve_with p r))) ts;
+      List.iter (fun t -> on_resolve t (fun r -> ignore (try_resolve_with p r : bool))) ts;
       out
 
 let ignore_result (_ : 'a t) = ()

@@ -127,7 +127,11 @@ let deliver t ep (Request { rpc_id; reply_to; payload }) =
                                 | None -> () (* already timed out *)
                                 | Some promise ->
                                     Hashtbl.remove t.pending rpc_id;
-                                    ignore (Future.try_fulfill promise resp)))))
+                                    (* A false here is a reply the caller will
+                                       never see: surface it, don't drop it. *)
+                                    if not (Future.try_fulfill promise resp) then
+                                      Trace.emit "rpc_reply_lost"
+                                        [ ("rpc_id", string_of_int rpc_id) ]))))
 
 let post t ?(bytes = 0) ~(from : Process.t) ep ~rpc_id payload =
   match Hashtbl.find_opt t.handlers ep with
@@ -148,7 +152,10 @@ let call t ?(timeout = 5.0) ?bytes ~from ep payload =
   Engine.schedule ~after:timeout (fun () ->
       if Hashtbl.mem t.pending rpc_id then begin
         Hashtbl.remove t.pending rpc_id;
-        ignore (Future.try_break promise Engine.Timed_out)
+        (* The promise was still registered, so a false break means the
+           caller got neither reply nor timeout — a lost wakeup. *)
+        if not (Future.try_break promise Engine.Timed_out) then
+          Trace.emit "rpc_timeout_lost" [ ("rpc_id", string_of_int rpc_id) ]
       end);
   fut
 

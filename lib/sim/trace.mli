@@ -16,6 +16,13 @@ val set_clock : (unit -> float) -> unit
 val set_enabled : bool -> unit
 (** Enable/disable collection (default enabled). *)
 
+val set_observer : (string -> unit) -> unit
+(** Install a hook called with every emitted event name, even when
+    collection is disabled. The engine uses it to fold event kinds into
+    its run checksum; there is at most one observer. *)
+
+val clear_observer : unit -> unit
+
 val emit : string -> (string * string) list -> unit
 (** Record one event at the current time. *)
 

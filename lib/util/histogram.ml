@@ -1,14 +1,15 @@
 (* Geometric buckets: bucket i covers (base^i, base^(i+1)] relative to
    [smallest]. With base = 1.02, relative error is ~2%, and ~2300 buckets
-   cover 1e-9 .. 1e11, so we just allocate lazily in a Hashtbl keyed by
-   bucket index. *)
+   cover 1e-9 .. 1e11, so we just allocate lazily in a Det_tbl keyed by
+   bucket index (key-sorted iteration makes merge/percentile order-stable
+   without a post-sort). *)
 
 let base = 1.02
 let log_base = log base
 let smallest = 1e-9
 
 type t = {
-  buckets : (int, int ref) Hashtbl.t;
+  buckets : (int, int ref) Det_tbl.t;
   mutable count : int;
   mutable total : float;
   mutable min_v : float;
@@ -16,7 +17,7 @@ type t = {
 }
 
 let create () =
-  { buckets = Hashtbl.create 64; count = 0; total = 0.0; min_v = infinity; max_v = 0.0 }
+  { buckets = Det_tbl.create ~size:64 (); count = 0; total = 0.0; min_v = infinity; max_v = 0.0 }
 
 let index_of v =
   let v = if v <= smallest then smallest else v in
@@ -29,20 +30,20 @@ let upper_of i = smallest *. exp (float_of_int i *. log_base)
 let add t v =
   let v = if v < smallest then smallest else v in
   let i = index_of v in
-  (match Hashtbl.find_opt t.buckets i with
+  (match Det_tbl.find_opt t.buckets i with
   | Some r -> incr r
-  | None -> Hashtbl.add t.buckets i (ref 1));
+  | None -> Det_tbl.add t.buckets i (ref 1));
   t.count <- t.count + 1;
   t.total <- t.total +. v;
   if v < t.min_v then t.min_v <- v;
   if v > t.max_v then t.max_v <- v
 
 let merge_into ~dst src =
-  Hashtbl.iter
+  Det_tbl.iter
     (fun i r ->
-      match Hashtbl.find_opt dst.buckets i with
+      match Det_tbl.find_opt dst.buckets i with
       | Some r' -> r' := !r' + !r
-      | None -> Hashtbl.add dst.buckets i (ref !r))
+      | None -> Det_tbl.add dst.buckets i (ref !r))
     src.buckets;
   dst.count <- dst.count + src.count;
   dst.total <- dst.total +. src.total;
@@ -55,9 +56,8 @@ let mean t = if t.count = 0 then 0.0 else t.total /. float_of_int t.count
 let max_value t = if t.count = 0 then 0.0 else t.max_v
 let min_value t = if t.count = 0 then 0.0 else t.min_v
 
-let sorted_buckets t =
-  let l = Hashtbl.fold (fun i r acc -> (i, !r) :: acc) t.buckets [] in
-  List.sort (fun (a, _) (b, _) -> compare a b) l
+(* Det_tbl enumerates in ascending key order already. *)
+let sorted_buckets t = List.map (fun (i, r) -> (i, !r)) (Det_tbl.to_sorted_list t.buckets)
 
 let percentile t p =
   if t.count = 0 then 0.0
@@ -86,7 +86,7 @@ let cdf_points t =
   end
 
 let clear t =
-  Hashtbl.reset t.buckets;
+  Det_tbl.reset t.buckets;
   t.count <- 0;
   t.total <- 0.0;
   t.min_v <- infinity;

@@ -12,6 +12,7 @@ type report = {
   soup_committed : int;
   oracle_failures : string list;
   buggify_points : string list;
+  trace_checksum : int64;
 }
 
 let random_config rng =
@@ -55,7 +56,8 @@ let ring_nodes = 30
 let soup_keys = 50
 
 let run_one ?(buggify = true) ?(duration = 60.0) ~seed () =
-  Engine.run ~seed ~max_time:3600.0 ~buggify (fun () ->
+  let report =
+    Engine.run ~seed ~max_time:3600.0 ~buggify (fun () ->
       let rng = Engine.fork_rng () in
       let config = random_config rng in
       let cluster = Cluster.create ~config () in
@@ -123,12 +125,24 @@ let run_one ?(buggify = true) ?(duration = 60.0) ~seed () =
           soup_committed = soup_stats.Random_ops.committed;
           oracle_failures = failures @ metrics_failures;
           buggify_points = Buggify.points_hit ();
+          trace_checksum = 0L (* filled in once the run has fully drained *);
         })
+  in
+  { report with trace_checksum = Engine.last_run_checksum () }
+
+(* The paper's own nondeterminism detector: replay the seed and compare
+   event-stream checksums. Any divergence means something outside the
+   seeded-RNG / virtual-time envelope leaked into the run. *)
+let check_determinism ?buggify ?duration ~seed () =
+  let a = run_one ?buggify ?duration ~seed () in
+  let b = run_one ?buggify ?duration ~seed () in
+  if Int64.equal a.trace_checksum b.trace_checksum then Ok a
+  else Error (a.trace_checksum, b.trace_checksum)
 
 let pp_report fmt r =
   Format.fprintf fmt
-    "seed=%Ld machines=%d epochs=%d transfers=%d rotations=%d soup=%d %s"
-    r.seed r.machines r.epochs r.transfers r.rotations r.soup_committed
+    "seed=%Ld machines=%d epochs=%d transfers=%d rotations=%d soup=%d csum=%016Lx %s"
+    r.seed r.machines r.epochs r.transfers r.rotations r.soup_committed r.trace_checksum
     (if r.oracle_failures = [] then "PASS"
      else "FAIL [" ^ String.concat "; " r.oracle_failures ^ "]");
   if r.buggify_points <> [] then

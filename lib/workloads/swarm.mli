@@ -18,9 +18,18 @@ type report = {
   soup_committed : int;
   oracle_failures : string list;  (** empty = the run passed *)
   buggify_points : string list;  (** fault-injection points that fired *)
+  trace_checksum : int64;
+      (** {!Fdb_sim.Engine.last_run_checksum} of the run: FNV-1a over every
+          executed event. Equal seeds must yield equal checksums. *)
 }
 
 val run_one : ?buggify:bool -> ?duration:float -> seed:int64 -> unit -> report
 (** Run one randomized simulation (NOT inside an existing engine run). *)
+
+val check_determinism :
+  ?buggify:bool -> ?duration:float -> seed:int64 -> unit -> (report, int64 * int64) result
+(** Run the seed twice and compare trace checksums: [Ok report] if the two
+    runs executed bit-identical event streams, [Error (first, second)]
+    otherwise — the paper's double-run nondeterminism detector. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,2 @@
+(* Fixture: R1 — wall-clock read in simulation code. *)
+let now () = Unix.gettimeofday ()

@@ -1,0 +1,2 @@
+(* Fixture: R2 — hash-order enumeration outside lib/util. *)
+let sum t = Hashtbl.fold (fun _ v acc -> v + acc) t 0

@@ -1,0 +1,2 @@
+(* Fixture: R3 — ignore without a type annotation. *)
+let drop xs = ignore (List.length xs)

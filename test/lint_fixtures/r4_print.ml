@@ -1,0 +1,2 @@
+(* Fixture: R4 — stdout write from library code. *)
+let report () = print_endline "done"

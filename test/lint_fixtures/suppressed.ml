@@ -1,0 +1,4 @@
+(* Fixture: a justified standalone suppression covers the next line. *)
+let sum t =
+  (* fdb-lint: allow R2 -- fixture exercising the suppression path *)
+  Hashtbl.fold (fun _ v acc -> v + acc) t 0

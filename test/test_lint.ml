@@ -1,0 +1,131 @@
+(* Golden-file tests for the determinism lint (fdb_lint). Each fixture
+   under lint_fixtures/ carries exactly one kind of violation; its
+   .expected file holds the diagnostics (with line:col) the pass must
+   produce. Fixtures are linted as if they lived under lib/ so that the
+   library-only rule R4 applies. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let render diags =
+  String.concat ""
+    (List.map (fun d -> Format.asprintf "%a@." Lint.pp_diagnostic d) diags)
+
+let golden name () =
+  let file = Filename.concat "lint_fixtures" (name ^ ".ml") in
+  let as_path = "lib/lint_fixtures/" ^ name ^ ".ml" in
+  let got = render (Lint.lint_file ~as_path file) in
+  let want = read_file (Filename.concat "lint_fixtures" (name ^ ".expected")) in
+  Alcotest.(check string) name want got
+
+(* Rule applicability is path-dependent; exercise the boundaries through
+   lint_source so no fixture staging is needed. *)
+
+let count_rule rule diags =
+  List.length (List.filter (fun d -> d.Lint.d_rule = Some rule) diags)
+
+let test_r1_det_rng_exempt () =
+  let src = "let x = Random.int 5\n" in
+  Alcotest.(check int)
+    "det_rng is the one sanctioned randomness site" 0
+    (count_rule Lint.R1 (Lint.lint_source ~path:"lib/util/det_rng.ml" src));
+  Alcotest.(check int)
+    "same source elsewhere violates" 1
+    (count_rule Lint.R1 (Lint.lint_source ~path:"lib/core/proxy.ml" src))
+
+let test_r2_util_exempt () =
+  let src = "let f t = Hashtbl.iter (fun _ _ -> ()) t\n" in
+  Alcotest.(check int)
+    "lib/util may touch raw Hashtbl" 0
+    (count_rule Lint.R2 (Lint.lint_source ~path:"lib/util/det_tbl.ml" src));
+  Alcotest.(check int)
+    "everyone else goes through Det_tbl" 1
+    (count_rule Lint.R2 (Lint.lint_source ~path:"lib/kv/btree.ml" src))
+
+let test_r4_library_only () =
+  let src = "let main () = print_endline \"hi\"\n" in
+  Alcotest.(check int)
+    "bin/ drivers may print" 0
+    (count_rule Lint.R4 (Lint.lint_source ~path:"bin/tool.ml" src));
+  Alcotest.(check int)
+    "lib/ code may not" 1
+    (count_rule Lint.R4 (Lint.lint_source ~path:"lib/obs/status.ml" src))
+
+let test_r3_annotated_ok () =
+  let src = "let f p = ignore (Future.try_fulfill p () : bool)\n" in
+  Alcotest.(check int)
+    "annotated ignore passes" 0
+    (count_rule Lint.R3 (Lint.lint_source ~path:"lib/core/x.ml" src))
+
+let test_open_unix_flagged () =
+  let src = "open Unix\nlet x = 1\n" in
+  Alcotest.(check int) "open Unix is R1" 1
+    (count_rule Lint.R1 (Lint.lint_source ~path:"lib/core/x.ml" src));
+  let src = "module R = Random\n" in
+  Alcotest.(check int) "module alias of Random is R1" 1
+    (count_rule Lint.R1 (Lint.lint_source ~path:"lib/core/x.ml" src))
+
+let test_same_line_suppression () =
+  let src =
+    "let f t = Hashtbl.fold (fun _ v a -> v + a) t 0 (* fdb-lint: allow R2 -- \
+     unit test *)\n"
+  in
+  Alcotest.(check int) "same-line suppression applies" 0
+    (List.length (Lint.lint_source ~path:"lib/core/x.ml" src))
+
+let test_suppression_wrong_rule () =
+  let src =
+    "(* fdb-lint: allow R1 -- wrong rule on purpose *)\n\
+     let f t = Hashtbl.fold (fun _ v a -> v + a) t 0\n"
+  in
+  Alcotest.(check int) "suppressing R1 does not silence R2" 1
+    (count_rule Lint.R2 (Lint.lint_source ~path:"lib/core/x.ml" src))
+
+let test_whitelist () =
+  let wl = Lint.parse_whitelist "# comment\n\nR2 lib/core/x.ml\n" in
+  Alcotest.(check int) "parsed one entry" 1 (List.length wl);
+  let src = "let f t = Hashtbl.fold (fun _ v a -> v + a) t 0\n" in
+  Alcotest.(check int) "whitelisted file is exempt" 0
+    (List.length (Lint.lint_source ~whitelist:wl ~path:"lib/core/x.ml" src));
+  Alcotest.(check int) "other files still checked" 1
+    (List.length (Lint.lint_source ~whitelist:wl ~path:"lib/core/y.ml" src))
+
+let test_whitelist_rejects_unknown_rule () =
+  Alcotest.check_raises "unknown rule"
+    (Failure "lint whitelist: unknown rule R9") (fun () ->
+      let (_ : Lint.whitelist) = Lint.parse_whitelist "R9 lib/core/x.ml\n" in
+      ())
+
+let test_explain_covers_all_rules () =
+  List.iter
+    (fun r ->
+      let text = Lint.explain r in
+      Alcotest.(check bool)
+        (Lint.rule_name r ^ " explanation names itself")
+        true
+        (String.length text > 40
+        && String.sub text 0 2 = Lint.rule_name r))
+    Lint.all_rules
+
+let suite =
+  [
+    Alcotest.test_case "golden: R1 unix" `Quick (golden "r1_unix");
+    Alcotest.test_case "golden: R2 hashtbl" `Quick (golden "r2_hashtbl");
+    Alcotest.test_case "golden: R3 ignore" `Quick (golden "r3_ignore");
+    Alcotest.test_case "golden: R4 print" `Quick (golden "r4_print");
+    Alcotest.test_case "golden: suppressed" `Quick (golden "suppressed");
+    Alcotest.test_case "golden: bad suppression" `Quick (golden "bad_suppression");
+    Alcotest.test_case "R1 det_rng exemption" `Quick test_r1_det_rng_exempt;
+    Alcotest.test_case "R2 lib/util exemption" `Quick test_r2_util_exempt;
+    Alcotest.test_case "R4 library only" `Quick test_r4_library_only;
+    Alcotest.test_case "R3 annotated ok" `Quick test_r3_annotated_ok;
+    Alcotest.test_case "open/alias Unix flagged" `Quick test_open_unix_flagged;
+    Alcotest.test_case "same-line suppression" `Quick test_same_line_suppression;
+    Alcotest.test_case "suppression rule mismatch" `Quick test_suppression_wrong_rule;
+    Alcotest.test_case "whitelist" `Quick test_whitelist;
+    Alcotest.test_case "whitelist unknown rule" `Quick test_whitelist_rejects_unknown_rule;
+    Alcotest.test_case "explain all rules" `Quick test_explain_covers_all_rules;
+  ]

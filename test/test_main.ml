@@ -23,4 +23,6 @@ let () =
       ("task-bucket", Test_task_bucket.suite);
       ("crash-consistency", Test_crash_consistency.suite);
       ("types", Test_types.suite);
+      ("lint", Test_lint.suite);
+      ("determinism", Test_determinism.suite);
     ]

@@ -172,6 +172,48 @@ let qcheck_clamp_non_positive =
       && Histogram.percentile h 0.0 > 0.0
       && Histogram.total h > 0.0)
 
+(* --- qcheck properties over Det_tbl (the R2 substrate) --- *)
+
+let dedup_keys kvs =
+  List.rev
+    (List.fold_left
+       (fun acc (k, v) -> if List.mem_assoc k acc then acc else (k, v) :: acc)
+       [] kvs)
+
+let det_tbl_of kvs =
+  let t = Det_tbl.create () in
+  List.iter (fun (k, v) -> Det_tbl.replace t k v) kvs;
+  t
+
+let qcheck_det_tbl_order_invariant =
+  QCheck.Test.make
+    ~name:"det_tbl enumeration is invariant under insertion order" ~count:300
+    QCheck.(pair small_int (list (pair small_string small_int)))
+    (fun (salt, kvs) ->
+      let kvs = dedup_keys kvs in
+      (* Three insertion orders: as generated, reversed, and shuffled by a
+         seeded rng — the sorted snapshot must be identical. *)
+      let shuffled =
+        let arr = Array.of_list kvs in
+        Det_rng.shuffle (Det_rng.create (Int64.of_int salt)) arr;
+        Array.to_list arr
+      in
+      let reference = Det_tbl.to_sorted_list (det_tbl_of kvs) in
+      reference = Det_tbl.to_sorted_list (det_tbl_of (List.rev kvs))
+      && reference = Det_tbl.to_sorted_list (det_tbl_of shuffled)
+      && List.sort compare (List.map fst reference) = List.map fst reference)
+
+let qcheck_det_tbl_iter_matches_sorted =
+  QCheck.Test.make ~name:"det_tbl iter/fold visit the sorted snapshot" ~count:300
+    QCheck.(list (pair small_string small_int))
+    (fun kvs ->
+      let t = det_tbl_of (dedup_keys kvs) in
+      let via_iter = ref [] in
+      Det_tbl.iter (fun k v -> via_iter := (k, v) :: !via_iter) t;
+      let via_fold = Det_tbl.fold (fun k v acc -> (k, v) :: acc) t [] in
+      List.rev !via_iter = Det_tbl.to_sorted_list t
+      && List.rev via_fold = Det_tbl.to_sorted_list t)
+
 let suite =
   [
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
@@ -190,4 +232,6 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_merge_associative;
     QCheck_alcotest.to_alcotest qcheck_percentile_monotone;
     QCheck_alcotest.to_alcotest qcheck_clamp_non_positive;
+    QCheck_alcotest.to_alcotest qcheck_det_tbl_order_invariant;
+    QCheck_alcotest.to_alcotest qcheck_det_tbl_iter_matches_sorted;
   ]
