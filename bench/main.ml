@@ -9,6 +9,7 @@ let available =
 let () =
   let only = ref [] in
   let quick = ref false in
+  let smoke = ref false in
   let spec =
     [
       ( "--only",
@@ -16,6 +17,9 @@ let () =
           (fun s -> only := String.split_on_char ',' s @ !only),
         "NAMES  comma-separated subset of: " ^ String.concat " " available );
       ("--quick", Arg.Set quick, "  smaller sweeps (fig8/fig10)");
+      ( "--smoke",
+        Arg.Set smoke,
+        "  CI smoke: tiny measurement quotas, skip simulations (conflict)" );
     ]
   in
   Arg.parse spec (fun s -> only := s :: !only) "fdb benchmark harness";
@@ -25,7 +29,7 @@ let () =
   Printf.printf "selected: %s%s\n%!" (String.concat " " selected)
     (if !quick then " (quick)" else "");
   if want "micro" then Micro.run ();
-  if want "conflict" then Conflict.run ();
+  if want "conflict" then Conflict.run ~smoke:!smoke ();
   if want "fig3" then Fig3.run ();
   if want "fig7" then Fig7.run ();
   if want "fig8" then

@@ -11,14 +11,18 @@ type t = {
   rvm : Rvm.t;
   mutable last_lsn : Types.version;
   (* Batches whose predecessor has not arrived yet, keyed by their prev. *)
-  parked : (Types.version, Message.t * Message.t Future.promise) Hashtbl.t;
-  (* Replay cache so duplicate deliveries get consistent verdicts. *)
+  parked : (Types.version, Message.t * Message.t Future.promise) Fdb_util.Det_tbl.t;
+  (* Replay cache so duplicate deliveries get consistent verdicts, plus the
+     cached LSNs in arrival order: they are assigned monotonically, so the
+     expiry loop pops the below-floor prefix instead of scanning the table. *)
   verdicts : (Types.version, Message.resolver_verdict array) Fdb_util.Det_tbl.t;
+  verdict_lsns : Types.version Queue.t;
   (* metrics plane *)
   obs_checked : Fdb_obs.Registry.counter;
   obs_conflicts : Fdb_obs.Registry.counter;
   obs_too_old : Fdb_obs.Registry.counter;
   obs_entries : Fdb_obs.Registry.gauge;
+  obs_check_cost : Fdb_obs.Registry.gauge;
 }
 
 let last_lsn t = t.last_lsn
@@ -70,7 +74,10 @@ let cost txns =
 let rec process t lsn prev txns =
   assert (prev = t.last_lsn);
   let* () = Engine.cpu t.proc (Params.cpu (cost txns)) in
+  let work_before = Rvm.work t.rvm in
   let verdicts = check_batch t lsn txns in
+  Fdb_obs.Registry.set_gauge t.obs_check_cost
+    (float_of_int (Rvm.work t.rvm - work_before));
   Array.iter
     (fun v ->
       Fdb_obs.Registry.incr t.obs_checked;
@@ -82,10 +89,11 @@ let rec process t lsn prev txns =
   Fdb_obs.Registry.set_gauge t.obs_entries (float_of_int (Rvm.entry_count t.rvm));
   t.last_lsn <- lsn;
   Fdb_util.Det_tbl.replace t.verdicts lsn verdicts;
+  Queue.push lsn t.verdict_lsns;
   (* Unpark the successor, if it already arrived. *)
-  (match Hashtbl.find_opt t.parked lsn with
+  (match Fdb_util.Det_tbl.find_opt t.parked lsn with
   | Some (Message.Resolve_req { rs_lsn; rs_prev; rs_txns; _ }, promise) ->
-      Hashtbl.remove t.parked lsn;
+      Fdb_util.Det_tbl.remove t.parked lsn;
       Engine.spawn ~process:t.proc "resolver-unpark" (fun () ->
           let* reply = process t rs_lsn rs_prev rs_txns in
           ignore (Future.try_fulfill promise reply : bool);
@@ -105,10 +113,20 @@ let handle t (msg : Message.t) : Message.t Future.t =
         | None -> Future.return (Message.Reject (Error.Internal "stale resolve")))
       else if rs_prev = t.last_lsn then process t rs_lsn rs_prev rs_txns
       else begin
-        (* Out of order: park until the chain catches up. *)
-        let fut, promise = Future.make () in
-        Hashtbl.replace t.parked rs_prev (msg, promise);
-        fut
+        (* Out of order: park until the chain catches up. A batch is already
+           parked on this prev when the delivery is a reordered duplicate —
+           overwriting would leak the first waiter's promise (lost wakeup),
+           so reject the duplicate; the parked original still gets its
+           verdicts when the chain fills. *)
+        match Fdb_util.Det_tbl.find_opt t.parked rs_prev with
+        | Some _ ->
+            Trace.emit "resolver_park_dup"
+              [ ("lsn", Int64.to_string rs_lsn); ("prev", Int64.to_string rs_prev) ];
+            Future.return (Message.Reject (Error.Internal "duplicate parked resolve"))
+        | None ->
+            let fut, promise = Future.make () in
+            Fdb_util.Det_tbl.replace t.parked rs_prev (msg, promise);
+            fut
       end
   | _ -> Future.return (Message.Reject (Error.Internal "resolver: unexpected message"))
 
@@ -123,11 +141,16 @@ let expiry_loop t =
     let floor = Int64.sub t.last_lsn window_versions in
     if floor > 0L then begin
       Rvm.expire t.rvm ~before:floor;
-      (* Det_tbl.iter walks a snapshot, so removing under the cursor is
-         safe — no defensive copy needed. *)
-      Fdb_util.Det_tbl.iter
-        (fun lsn _ -> if lsn < floor then Fdb_util.Det_tbl.remove t.verdicts lsn)
-        t.verdicts
+      (* LSNs were enqueued in increasing order: pop the expired prefix —
+         O(expired), never a scan of the whole replay cache. *)
+      let continue = ref true in
+      while !continue do
+        match Queue.peek_opt t.verdict_lsns with
+        | Some lsn when lsn < floor ->
+            ignore (Queue.pop t.verdict_lsns : Types.version);
+            Fdb_util.Det_tbl.remove t.verdicts lsn
+        | _ -> continue := false
+      done
     end;
     Fdb_obs.Registry.set_gauge t.obs_entries (float_of_int (Rvm.entry_count t.rvm));
     loop ()
@@ -147,12 +170,14 @@ let create ctx proc ~epoch ~range ~start_lsn =
       range;
       rvm = Rvm.create ~rng:(Engine.fork_rng ()) ();
       last_lsn = start_lsn;
-      parked = Hashtbl.create 16;
+      parked = Fdb_util.Det_tbl.create ~size:16 ();
       verdicts = Fdb_util.Det_tbl.create ~size:1024 ();
+      verdict_lsns = Queue.create ();
       obs_checked = Fdb_obs.Registry.counter reg ~role:Fdb_obs.Registry.Resolver ~process:pid "txns_checked";
       obs_conflicts = Fdb_obs.Registry.counter reg ~role:Fdb_obs.Registry.Resolver ~process:pid "conflicts";
       obs_too_old = Fdb_obs.Registry.counter reg ~role:Fdb_obs.Registry.Resolver ~process:pid "too_old";
       obs_entries = Fdb_obs.Registry.gauge reg ~role:Fdb_obs.Registry.Resolver ~process:pid "history_entries";
+      obs_check_cost = Fdb_obs.Registry.gauge reg ~role:Fdb_obs.Registry.Resolver ~process:pid "batch_check_cost";
     }
   in
   Network.register ctx.Context.net ep proc (handle t);

@@ -1,7 +1,7 @@
 type t = { sl : int64 Skiplist.t; mutable oldest : int64 }
 
 let create ~rng () =
-  let sl = Skiplist.create ~rng () in
+  let sl = Skiplist.create ~measure:Fun.id ~rng () in
   Skiplist.insert sl "" 0L;
   { sl; oldest = 0L }
 
@@ -27,29 +27,24 @@ let note_write t ~from ~until version =
 let max_version t ~from ~until =
   if from >= until then 0L
   else begin
-    let best = ref (covering_version t from) in
-    Skiplist.iter_range t.sl ~from ~until (fun _ v -> if v > !best then best := v);
-    !best
+    (* Covering entry at-or-before [from], then the O(log n) augmented
+       descent over the entries inside the range (Int64.min_int if none). *)
+    let cover = covering_version t from in
+    let inner = Skiplist.max_in_range t.sl ~from ~until in
+    if inner > cover then inner else cover
   end
 
 let expire t ~before =
   if before > t.oldest then begin
     t.oldest <- before;
-    (* Merge runs of consecutive entries that are all below the floor: they
-       are indistinguishable to any admissible (read_version >= floor)
-       transaction. *)
-    let entries = Skiplist.to_list t.sl in
-    let rec walk prev_old = function
-      | [] -> ()
-      | (k, v) :: rest ->
-          let old = v < before in
-          if old && prev_old && k <> "" then ignore (Skiplist.remove t.sl k : bool);
-          walk old rest
-    in
-    match entries with
-    | [] -> ()
-    | (_, v0) :: rest -> walk (v0 < before) rest
+    (* Runs of consecutive entries that are all below the floor are
+       indistinguishable to any admissible (read_version >= floor)
+       transaction: keep each run's first entry, drop the rest. The
+       skiplist walks only the expired runs via its link annotations. *)
+    ignore (Skiplist.coalesce_below t.sl before : int)
   end
 
 let oldest t = t.oldest
 let entry_count t = Skiplist.length t.sl
+let work t = Skiplist.work t.sl
+let check_invariants t = Skiplist.check_invariants t.sl

@@ -30,3 +30,10 @@ val oldest : t -> int64
 
 val entry_count : t -> int
 (** Number of range entries (memory accounting / Ratekeeper input). *)
+
+val work : t -> int
+(** Cumulative skiplist links traversed by all operations so far — the
+    conflict-check cost meter the resolver publishes per batch. *)
+
+val check_invariants : t -> bool
+(** Underlying skiplist structural + annotation self-check (property tests). *)

@@ -79,6 +79,185 @@ let qcheck_skiplist_model =
       let expected = List.sort compare !model in
       Skiplist.to_list sl = expected && Skiplist.check_invariants sl)
 
+(* ---------- augmented-skiplist model suite ----------
+
+   The version annotations on tower links (link_max / link_pairmin) are pure
+   acceleration: every query must answer exactly what a naive sorted
+   assoc-list would, and [check_invariants] (annotation = level-0
+   recomputation of its sublist) must hold after every mutation. *)
+
+let qcheck_augmented_skiplist_model =
+  (* Reference semantics over a sorted (key, version) list. *)
+  let model_max_in_range entries ~from ~until =
+    List.fold_left
+      (fun best (k, v) -> if k >= from && k < until && v > best then v else best)
+      Int64.min_int entries
+  in
+  (* A node is coalescible iff it and its predecessor are both below the
+     floor; the head sentinel counts as never-old, so the first entry always
+     survives. Removed entries are themselves old, so original-predecessor
+     oldness and surviving-predecessor oldness agree and one left-to-right
+     pass suffices. *)
+  let model_coalesce entries floor =
+    let prev_old = ref false in
+    List.filter
+      (fun (_, v) ->
+        let old = v < floor in
+        let keep = not (old && !prev_old) in
+        prev_old := old;
+        keep)
+      entries
+  in
+  let op_gen =
+    QCheck.Gen.(
+      quad (int_range 0 4) (int_range 0 25) (int_range 0 25) (int_range 0 50))
+  in
+  QCheck.Test.make ~name:"augmented skiplist matches assoc-list model" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 120) op_gen))
+    (fun ops ->
+      let sl = Skiplist.create ~measure:Fun.id ~rng:(Rng.create 29L) () in
+      let model = ref [] in
+      let key i = Printf.sprintf "k%02d" i in
+      let sorted () = List.sort compare !model in
+      List.iter
+        (fun (op, a, b, v) ->
+          let from = key (min a b) and until = key (max a b) in
+          (match op with
+          | 0 ->
+              Skiplist.insert sl (key a) (Int64.of_int v);
+              model :=
+                (key a, Int64.of_int v) :: List.remove_assoc (key a) !model
+          | 1 ->
+              let removed = Skiplist.remove sl (key a) in
+              if removed <> List.mem_assoc (key a) !model then
+                failwith "remove mismatch";
+              model := List.remove_assoc (key a) !model
+          | 2 ->
+              let n = Skiplist.remove_range sl ~from ~until in
+              let keep, drop =
+                List.partition (fun (k, _) -> k < from || k >= until) !model
+              in
+              if n <> List.length drop then failwith "remove_range count";
+              model := keep
+          | 3 ->
+              if
+                Skiplist.max_in_range sl ~from ~until
+                <> model_max_in_range !model ~from ~until
+              then failwith "max_in_range mismatch"
+          | _ ->
+              let floor = Int64.of_int v in
+              let survivors = model_coalesce (sorted ()) floor in
+              let n = Skiplist.coalesce_below sl floor in
+              if n <> List.length !model - List.length survivors then
+                failwith "coalesce count";
+              model := survivors);
+          if not (Skiplist.check_invariants sl) then
+            failwith "annotation invariant broken")
+        ops;
+      Skiplist.to_list sl = sorted ())
+
+(* ---------- range-version-map reference model ----------
+
+   The pre-augmentation implementation, re-expressed over a plain sorted
+   assoc list: note_write / max_version / expire must stay byte-equivalent
+   across the data-structure swap, including the coalescing done by expiry
+   (resolver verdicts must not change). *)
+module Rvm_ref = struct
+  type t = { mutable entries : (string * int64) list; mutable oldest : int64 }
+
+  let create () = { entries = [ ("", 0L) ]; oldest = 0L }
+
+  let covering t k =
+    List.fold_left
+      (fun acc (key, v) -> if key <= k then v else acc)
+      0L t.entries
+
+  let note_write t ~from ~until version =
+    if from < until then begin
+      if not (List.mem_assoc until t.entries) then
+        t.entries <-
+          List.merge compare t.entries [ (until, covering t until) ];
+      let prev = covering t from in
+      let kept =
+        List.filter (fun (k, _) -> k < from || k >= until) t.entries
+      in
+      t.entries <-
+        List.merge compare kept
+          [ (from, if version > prev then version else prev) ]
+    end
+
+  let max_version t ~from ~until =
+    if from >= until then 0L
+    else
+      List.fold_left
+        (fun best (k, v) -> if k >= from && k < until && v > best then v else best)
+        (covering t from) t.entries
+
+  let expire t ~before =
+    if before > t.oldest then begin
+      t.oldest <- before;
+      match t.entries with
+      | [] -> ()
+      | first :: rest ->
+          let prev_old = ref (snd first < before) in
+          let kept =
+            List.filter
+              (fun (_, v) ->
+                let old = v < before in
+                let keep = not (old && !prev_old) in
+                prev_old := old;
+                keep)
+              rest
+          in
+          t.entries <- first :: kept
+    end
+end
+
+let qcheck_rvm_expire_model =
+  (* note_write at monotonically increasing versions (the resolver's usage),
+     interleaved with expiry at random floors and max_version probes. *)
+  let op_gen =
+    QCheck.Gen.(quad (int_range 0 5) (int_range 0 11) (int_range 0 11) (int_range 0 80))
+  in
+  QCheck.Test.make ~name:"range_version_map matches reference across expiry"
+    ~count:300
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 80) op_gen))
+    (fun ops ->
+      let letter i = String.make 1 (Char.chr (Char.code 'a' + i)) in
+      let m = Range_version_map.create ~rng:(Rng.create 31L) () in
+      let r = Rvm_ref.create () in
+      let version = ref 0L in
+      List.iter
+        (fun (op, a, b, x) ->
+          (match op with
+          | 0 | 1 | 2 ->
+              version := Int64.add !version 1L;
+              let from = letter (min a b) and until = letter (max a b + 1) in
+              Range_version_map.note_write m ~from ~until !version;
+              Rvm_ref.note_write r ~from ~until !version
+          | 3 ->
+              let floor = Int64.of_int x in
+              Range_version_map.expire m ~before:floor;
+              Rvm_ref.expire r ~before:floor
+          | _ ->
+              let from = letter (min a b) and until = letter (max a b + 1) in
+              if
+                Range_version_map.max_version m ~from ~until
+                <> Rvm_ref.max_version r ~from ~until
+              then failwith "max_version mismatch");
+          if not (Range_version_map.check_invariants m) then
+            failwith "annotation invariant broken")
+        ops;
+      (* Full sweep: every single-letter range plus the whole space. *)
+      List.for_all
+        (fun i ->
+          let from = letter i and until = letter (i + 1) in
+          Range_version_map.max_version m ~from ~until
+          = Rvm_ref.max_version r ~from ~until)
+        (List.init 12 Fun.id)
+      && Range_version_map.max_version m ~from:"a" ~until:"z"
+         = Rvm_ref.max_version r ~from:"a" ~until:"z")
+
 let test_rvm_basic () =
   let m = Range_version_map.create ~rng:(Rng.create 3L) () in
   Alcotest.(check int64) "empty" 0L (Range_version_map.max_version m ~from:"a" ~until:"z");
@@ -162,9 +341,11 @@ let suite =
     Alcotest.test_case "skiplist remove" `Quick test_skiplist_remove;
     Alcotest.test_case "skiplist range ops" `Quick test_skiplist_range_ops;
     QCheck_alcotest.to_alcotest qcheck_skiplist_model;
+    QCheck_alcotest.to_alcotest qcheck_augmented_skiplist_model;
     Alcotest.test_case "range_version_map basic" `Quick test_rvm_basic;
     Alcotest.test_case "range_version_map layering" `Quick test_rvm_layering;
     Alcotest.test_case "range_version_map single key" `Quick test_rvm_single_key;
     Alcotest.test_case "range_version_map expire" `Quick test_rvm_expire;
     QCheck_alcotest.to_alcotest qcheck_rvm_model;
+    QCheck_alcotest.to_alcotest qcheck_rvm_expire_model;
   ]
