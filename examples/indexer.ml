@@ -48,7 +48,16 @@ let delete_user db ~id =
 let users_in_city db city =
   Client.run db (fun tx ->
       let from, until = Types.range_of_prefix (Printf.sprintf "index/city/%s/" city) in
-      let* entries = Client.get_range tx ~from ~until () in
+      (* Stream the index in bounded batches: memory stays flat however
+         large the city gets, and each batch rides the parallel pipeline. *)
+      let rec scan ?continuation acc =
+        let* b = Client.get_range_stream ?continuation tx ~from ~until () in
+        let acc = List.rev_append b.Client.batch_rows acc in
+        match b.Client.batch_continuation with
+        | Some c -> scan ~continuation:c acc
+        | None -> Future.return (List.rev acc)
+      in
+      let* entries = scan [] in
       let ids =
         List.map
           (fun (k, _) ->

@@ -4,18 +4,69 @@ module Mutation = Fdb_kv.Mutation
 module KeyMap = Map.Make (String)
 module Rng = Fdb_util.Det_rng
 
+(* ---------- key selectors ---------- *)
+
+module Key_selector = struct
+  type t = Message.key_selector = {
+    sel_key : string;
+    sel_or_equal : bool;
+    sel_offset : int;
+  }
+
+  (* The four canonical constructors, with the standard FDB encodings. *)
+  let first_greater_or_equal ?(offset = 0) key =
+    { sel_key = key; sel_or_equal = false; sel_offset = 1 + offset }
+
+  let first_greater_than ?(offset = 0) key =
+    { sel_key = key; sel_or_equal = true; sel_offset = 1 + offset }
+
+  let last_less_or_equal ?(offset = 0) key =
+    { sel_key = key; sel_or_equal = true; sel_offset = offset }
+
+  let last_less_than ?(offset = 0) key =
+    { sel_key = key; sel_or_equal = false; sel_offset = offset }
+end
+
+type streaming_mode = [ `Want_all | `Iterator | `Exact of int ]
+
+type tx_options = {
+  opt_timeout : float option;
+  opt_retry_limit : int option;
+  opt_max_read_bytes : int option;
+}
+
+let default_options =
+  { opt_timeout = None; opt_retry_limit = None; opt_max_read_bytes = None }
+
 type db = {
   ctx : Context.t;
   proc : Process.t;
   rng : Rng.t;
   mutable proxies : int array;
   mutable refreshing : bool;
+  obs_fanout : Fdb_obs.Registry.gauge;
+  obs_range_bytes : Fdb_obs.Registry.gauge;
+  obs_failovers : Fdb_obs.Registry.counter;
 }
 
 let versionstamp_placeholder = String.make 10 '\x00'
 
 let create_db ctx proc =
-  { ctx; proc; rng = Engine.fork_rng (); proxies = [||]; refreshing = false }
+  let metrics = ctx.Context.metrics in
+  let pid = proc.Process.pid in
+  let role = Fdb_obs.Registry.Client in
+  {
+    ctx;
+    proc;
+    rng = Engine.fork_rng ();
+    proxies = [||];
+    refreshing = false;
+    obs_fanout = Fdb_obs.Registry.gauge metrics ~role ~process:pid "read_fanout";
+    obs_range_bytes =
+      Fdb_obs.Registry.gauge metrics ~role ~process:pid "range_bytes_per_req";
+    obs_failovers =
+      Fdb_obs.Registry.counter metrics ~role ~process:pid "read_failovers";
+  }
 
 (* Find the ClusterController through the coordinators, then ask it for the
    current proxies — the client's bootstrap path. *)
@@ -89,6 +140,7 @@ type buffered =
 
 type tx = {
   db : db;
+  mutable options : tx_options;
   mutable read_version : (Types.version * Types.epoch) Future.t option;
   mutable writes : buffered KeyMap.t;
   mutable cleared : (string * string) list;
@@ -96,12 +148,14 @@ type tx = {
   mutable read_conflicts : (string * string) list;
   mutable write_conflicts : (string * string) list;
   mutable bytes : int;
+  mutable read_bytes : int;
   mutable commit_result : Types.version Future.t option;
 }
 
-let begin_tx db =
+let begin_tx ?(options = default_options) db =
   {
     db;
+    options;
     read_version = None;
     writes = KeyMap.empty;
     cleared = [];
@@ -109,8 +163,11 @@ let begin_tx db =
     read_conflicts = [];
     write_conflicts = [];
     bytes = 0;
+    read_bytes = 0;
     commit_result = None;
   }
+
+let set_option t options = t.options <- options
 
 let check_not_committed t =
   if t.commit_result <> None then raise (Error.Fdb Error.Used_during_commit)
@@ -151,78 +208,262 @@ let add_write_conflict_range t ~from ~until =
 
 let in_cleared t k = List.exists (fun (f, u) -> f <= k && k < u) t.cleared
 
+(* Enforce the per-transaction read-byte cap (a [tx_options] knob); returns
+   the byte budget a single storage round may still use. *)
+let remaining_read_budget t ~want =
+  match t.options.opt_max_read_bytes with
+  | None -> want
+  | Some cap ->
+      let left = cap - t.read_bytes in
+      if left <= 0 then raise (Error.Fdb Error.Transaction_too_large)
+      else min want left
+
 (* ---------- raw storage reads ---------- *)
 
-let storage_get t key (version, rv_epoch) =
-  let team = Shard_map.team_for_key t.db.ctx.Context.shard_map key in
+let bytes_of_rows rows =
+  List.fold_left (fun n (k, v) -> n + String.length k + String.length v) 0 rows
+
+(* Keep rows while both budgets last; [cut = true] when anything was
+   dropped. [keep_one] mirrors the storage-side guarantee that the very
+   first row of a read is delivered even if it alone busts the byte
+   budget, so bounded reads always make progress. *)
+let take_budget ?(keep_one = false) rows ~rows_left ~bytes_left =
+  let rec go acc nrows nbytes = function
+    | [] -> (List.rev acc, false)
+    | (k, v) :: tl ->
+        if (nrows >= rows_left || nbytes >= bytes_left) && not (keep_one && acc = [])
+        then (List.rev acc, true)
+        else
+          go ((k, v) :: acc) (nrows + 1)
+            (nbytes + String.length k + String.length v)
+            tl
+  in
+  go [] 0 0 rows
+
+let take_count n l =
+  let rec go acc n = function
+    | [] -> (List.rev acc, false)
+    | _ when n <= 0 -> (List.rev acc, true)
+    | x :: tl -> go (x :: acc) (n - 1) tl
+  in
+  go [] n l
+
+(* Try each replica of [team] in a Det_rng-shuffled order, failing over on
+   communication errors and per-replica timeouts. Semantic rejections
+   ([Transaction_too_old], [Wrong_shard]) propagate immediately: every
+   replica of the team would answer the same. *)
+let with_failover db ~team call =
   let replicas = Array.of_list team in
-  Rng.shuffle t.db.rng replicas;
+  Rng.shuffle db.rng replicas;
   let rec attempt i last_err =
     if i >= Array.length replicas then Future.fail last_err
     else
-      let ep = t.db.ctx.Context.storage_eps.(replicas.(i)) in
+      let ss = replicas.(i) in
+      let failover err =
+        if i + 1 < Array.length replicas then begin
+          Trace.emit "client_read_failover"
+            [
+              ("from_ss", string_of_int ss);
+              ("to_ss", string_of_int replicas.(i + 1));
+            ];
+          Fdb_obs.Registry.incr db.obs_failovers
+        end;
+        attempt (i + 1) err
+      in
       Future.catch
-        (fun () ->
-          let* reply =
-            Context.rpc t.db.ctx ~timeout:Params.client_read_timeout ~from:t.db.proc ep
-              (Message.Storage_get { key; version; rv_epoch })
-          in
-          match reply with
-          | Message.Storage_get_reply v -> Future.return v
-          | _ -> Future.fail (Error.Fdb Error.Timed_out))
+        (fun () -> call ss)
         (function
           | Error.Fdb Error.Transaction_too_old as e -> Future.fail e
-          | Engine.Timed_out -> attempt (i + 1) (Error.Fdb Error.Timed_out)
-          | Error.Fdb _ as e -> attempt (i + 1) e
+          | Error.Fdb Error.Wrong_shard as e -> Future.fail e
+          | Engine.Timed_out -> failover (Error.Fdb Error.Timed_out)
+          | Error.Fdb _ as e -> failover e
           | e -> Future.fail e)
   in
   attempt 0 (Error.Fdb Error.Timed_out)
 
-let storage_get_range t ~from ~until ~version:(version, rv_epoch) ~limit ~reverse =
-  (* Walk shard fragments in scan order, querying each fragment's team. *)
-  let fragments =
+let storage_get t key (version, rv_epoch) =
+  let db = t.db in
+  let rec with_resolution retries =
+    let team = Shard_map.team_for_key db.ctx.Context.shard_map key in
+    Future.catch
+      (fun () ->
+        with_failover db ~team (fun ss ->
+            let ep = db.ctx.Context.storage_eps.(ss) in
+            let* reply =
+              Context.rpc db.ctx ~timeout:Params.client_read_timeout ~from:db.proc
+                ep
+                (Message.Storage_get { key; version; rv_epoch })
+            in
+            match reply with
+            | Message.Storage_get_reply v -> Future.return v
+            | _ -> Future.fail (Error.Fdb Error.Timed_out)))
+      (function
+        | Error.Fdb Error.Wrong_shard when retries > 0 ->
+            (* The shard map changed under us; [team_for_key] reads the
+               live map, so simply retrying re-resolves. *)
+            with_resolution (retries - 1)
+        | e -> Future.fail e)
+  in
+  with_resolution 3
+
+(* ---------- the range-read pipeline ---------- *)
+
+(* One fragment task: drain [from, until) of a single shard fragment up to
+   the given budgets, following [rr_more] continuations against the same
+   replica team. Returns (rows, drained); [drained = false] means a budget
+   ran out first. A [Wrong_shard] mid-walk means the shard map changed
+   under the read: re-resolve the remainder against the live map and keep
+   going (bounded by [re_resolves]) so continuations never silently
+   truncate. *)
+let rec fragment_fetch t ~version ~rv_epoch ~reverse ~row_limit ~byte_limit
+    ~re_resolves ~team ~from ~until =
+  let db = t.db in
+  let rec go cursor acc nrows nbytes =
+    let f, u = if reverse then (from, cursor) else (cursor, until) in
+    if nrows >= row_limit || nbytes >= byte_limit then
+      Future.return (List.concat (List.rev acc), false)
+    else if f >= u then Future.return (List.concat (List.rev acc), true)
+    else
+      let* outcome =
+        Future.catch
+          (fun () ->
+            let* batch =
+              with_failover db ~team (fun ss ->
+                  let ep = db.ctx.Context.storage_eps.(ss) in
+                  let* reply =
+                    Context.rpc db.ctx ~timeout:Params.client_read_timeout
+                      ~from:db.proc ep
+                      (Message.Storage_get_range
+                         {
+                           gr_from = f;
+                           gr_until = u;
+                           gr_version = version;
+                           gr_limit = row_limit - nrows;
+                           gr_byte_limit = byte_limit - nbytes;
+                           gr_reverse = reverse;
+                           gr_epoch = rv_epoch;
+                         })
+                  in
+                  match reply with
+                  | Message.Storage_get_range_reply { rr_rows; rr_more } ->
+                      Future.return (rr_rows, rr_more)
+                  | _ -> Future.fail (Error.Fdb Error.Timed_out))
+            in
+            Future.return (`Batch batch))
+          (function
+            | Error.Fdb Error.Wrong_shard when re_resolves > 0 ->
+                Future.return `Re_resolve
+            | e -> Future.fail e)
+      in
+      match outcome with
+      | `Re_resolve ->
+          Trace.emit "client_range_re_resolve" [ ("from", f); ("until", u) ];
+          let* rows, drained =
+            seq_fragments t ~version ~rv_epoch ~reverse
+              ~row_limit:(row_limit - nrows) ~byte_limit:(byte_limit - nbytes)
+              ~re_resolves:(re_resolves - 1) ~from:f ~until:u
+          in
+          Future.return (List.concat (List.rev acc) @ rows, drained)
+      | `Batch ([], _) ->
+          (* An empty reply cannot carry a continuation cursor: treat the
+             fragment as drained rather than loop forever. *)
+          Future.return (List.concat (List.rev acc), true)
+      | `Batch (rows, more) ->
+          let nrows = nrows + List.length rows in
+          let nbytes = nbytes + bytes_of_rows rows in
+          let acc = rows :: acc in
+          if not more then Future.return (List.concat (List.rev acc), true)
+          else
+            (* Rows arrive in scan order, so the last row is the far edge
+               of what the reply covered. *)
+            let last = fst (List.hd (List.rev rows)) in
+            let cursor = if reverse then last else Types.next_key last in
+            go cursor acc nrows nbytes
+  in
+  go (if reverse then until else from) [] 0 0
+
+(* Sequential walk over the (freshly resolved) fragments of a range — the
+   re-resolution path after a [Wrong_shard]. *)
+and seq_fragments t ~version ~rv_epoch ~reverse ~row_limit ~byte_limit
+    ~re_resolves ~from ~until =
+  let frags =
     let fs = Shard_map.shards_for_range t.db.ctx.Context.shard_map ~from ~until in
     if reverse then List.rev fs else fs
   in
-  let rec walk fragments acc remaining =
-    match fragments with
-    | [] -> Future.return (List.concat (List.rev acc))
-    | _ when remaining <= 0 -> Future.return (List.concat (List.rev acc))
+  let rec walk frags acc nrows nbytes =
+    match frags with
+    | [] -> Future.return (List.concat (List.rev acc), true)
+    | _ when nrows >= row_limit || nbytes >= byte_limit ->
+        Future.return (List.concat (List.rev acc), false)
     | (f, u, team) :: rest ->
-        let replicas = Array.of_list team in
-        Rng.shuffle t.db.rng replicas;
-        let rec attempt i last_err =
-          if i >= Array.length replicas then Future.fail last_err
-          else
-            let ep = t.db.ctx.Context.storage_eps.(replicas.(i)) in
-            Future.catch
-              (fun () ->
-                let* reply =
-                  Context.rpc t.db.ctx ~timeout:Params.client_read_timeout
-                    ~from:t.db.proc ep
-                    (Message.Storage_get_range
-                       {
-                         gr_from = f;
-                         gr_until = u;
-                         gr_version = version;
-                         gr_limit = remaining;
-                         gr_reverse = reverse;
-                         gr_epoch = rv_epoch;
-                       })
-                in
-                match reply with
-                | Message.Storage_get_range_reply rows -> Future.return rows
-                | _ -> Future.fail (Error.Fdb Error.Timed_out))
-              (function
-                | Error.Fdb Error.Transaction_too_old as e -> Future.fail e
-                | Engine.Timed_out -> attempt (i + 1) (Error.Fdb Error.Timed_out)
-                | Error.Fdb _ as e -> attempt (i + 1) e
-                | e -> Future.fail e)
+        let* rows, drained =
+          fragment_fetch t ~version ~rv_epoch ~reverse
+            ~row_limit:(row_limit - nrows) ~byte_limit:(byte_limit - nbytes)
+            ~re_resolves ~team ~from:f ~until:u
         in
-        let* rows = attempt 0 (Error.Fdb Error.Timed_out) in
-        walk rest (rows :: acc) (remaining - List.length rows)
+        if not drained then
+          Future.return (List.concat (List.rev (rows :: acc)), false)
+        else
+          walk rest (rows :: acc) (nrows + List.length rows)
+            (nbytes + bytes_of_rows rows)
   in
-  walk fragments [] limit
+  walk frags [] 0 0
+
+(* The parallel pipeline: per-shard sub-reads issued concurrently with a
+   bounded fan-out window (§2.4.1: clients talk to StorageServers
+   directly, one team per shard). Fragments are consumed strictly in scan
+   order; completing one launches the next, so at most [client_range_fanout]
+   sub-reads are in flight. In-flight fragments each carry the full
+   remaining budget — they may over-fetch (bounded by fanout × budget) but
+   never under-fetch, so trimming happens client-side. *)
+let ranged_fetch t ~version ~rv_epoch ~from ~until ~reverse ~row_limit
+    ~byte_limit =
+  let db = t.db in
+  let fragments =
+    let fs = Shard_map.shards_for_range db.ctx.Context.shard_map ~from ~until in
+    if reverse then List.rev fs else fs
+  in
+  let frags = Array.of_list fragments in
+  let n = Array.length frags in
+  let fanout = max 1 !Params.client_range_fanout in
+  Fdb_obs.Registry.set_gauge db.obs_fanout (float_of_int (min fanout (max n 1)));
+  if n = 0 then Future.return ([], true)
+  else begin
+    let tasks = Array.make n None in
+    let launch i =
+      if i < n && tasks.(i) = None then
+        let f, u, team = frags.(i) in
+        tasks.(i) <-
+          Some
+            (fragment_fetch t ~version ~rv_epoch ~reverse ~row_limit ~byte_limit
+               ~re_resolves:3 ~team ~from:f ~until:u)
+    in
+    for i = 0 to min fanout n - 1 do
+      launch i
+    done;
+    let rec consume i acc nrows nbytes =
+      if i >= n then Future.return (List.concat (List.rev acc), true)
+      else if nrows >= row_limit || nbytes >= byte_limit then
+        Future.return (List.concat (List.rev acc), false)
+      else begin
+        launch i;
+        let task = Option.get tasks.(i) in
+        let* rows, drained = task in
+        launch (i + fanout);
+        let rows, cut =
+          take_budget rows ~keep_one:(nrows = 0) ~rows_left:(row_limit - nrows)
+            ~bytes_left:(byte_limit - nbytes)
+        in
+        let acc = rows :: acc in
+        if cut || not drained then
+          Future.return (List.concat (List.rev acc), false)
+        else
+          consume (i + 1) acc (nrows + List.length rows)
+            (nbytes + bytes_of_rows rows)
+      end
+    in
+    consume 0 [] 0 0
+  end
 
 (* ---------- reads with read-your-writes ---------- *)
 
@@ -242,7 +483,9 @@ let get ?(snapshot = false) t key =
       let* version = snapshot_info t in
       if not snapshot then
         add_read_conflict_range t ~from:key ~until:(Types.next_key key);
-      let* base = if in_cleared t key then Future.return None else storage_get t key version in
+      let* base =
+        if in_cleared t key then Future.return None else storage_get t key version
+      in
       Future.return (apply_ops_to_base base ops)
   | None ->
       if in_cleared t key then Future.return None
@@ -250,84 +493,280 @@ let get ?(snapshot = false) t key =
         let* version = snapshot_info t in
         if not snapshot then
           add_read_conflict_range t ~from:key ~until:(Types.next_key key);
-        storage_get t key version
+        let _budget = remaining_read_budget t ~want:1 in
+        let* v = storage_get t key version in
+        (match v with
+        | Some v -> t.read_bytes <- t.read_bytes + String.length key + String.length v
+        | None -> ());
+        Future.return v
       end
 
-let get_range ?(snapshot = false) ?(limit = 1000) ?(reverse = false) t ~from ~until () =
+(* One bounded, RYW-merged read of [\[from, until)]: fetch from storage
+   through the pipeline, overlay buffered writes over exactly the span the
+   storage result covers, and report a continuation cursor when either
+   budget cut the read short. Because the storage rows are span-complete,
+   atomic-op base values come straight from the fetched map — no extra
+   point reads. *)
+let read_merged t ~snap:(version, rv_epoch) ~from ~until ~reverse ~row_limit
+    ~byte_limit ~conflict =
+  let byte_limit = remaining_read_budget t ~want:byte_limit in
+  let* storage_rows, drained =
+    ranged_fetch t ~version ~rv_epoch ~from ~until ~reverse ~row_limit ~byte_limit
+  in
+  let got_bytes = bytes_of_rows storage_rows in
+  t.read_bytes <- t.read_bytes + got_bytes;
+  Fdb_obs.Registry.set_gauge t.db.obs_range_bytes (float_of_int got_bytes);
+  (* The observed span: what the storage result is authoritative for. *)
+  let span_lo, span_hi =
+    if drained then (from, until)
+    else
+      match List.rev storage_rows with
+      | [] -> (from, until)
+      | (last, _) :: _ ->
+          if reverse then (last, until) else (from, Types.next_key last)
+  in
+  if conflict then add_read_conflict_range t ~from:span_lo ~until:span_hi;
+  let base_map =
+    List.fold_left
+      (fun m (k, v) -> if in_cleared t k then m else KeyMap.add k v m)
+      KeyMap.empty storage_rows
+  in
+  let merged =
+    KeyMap.fold
+      (fun k b m ->
+        if k < span_lo || k >= span_hi then m
+        else
+          match b with
+          | B_set v -> KeyMap.add k v m
+          | B_clear -> KeyMap.remove k m
+          | B_atomic ops -> (
+              match apply_ops_to_base (KeyMap.find_opt k m) ops with
+              | Some v -> KeyMap.add k v m
+              | None -> KeyMap.remove k m))
+      t.writes base_map
+  in
+  let bindings = KeyMap.bindings merged in
+  let bindings = if reverse then List.rev bindings else bindings in
+  let kept, trimmed = take_count row_limit bindings in
+  let continuation =
+    if trimmed then
+      match List.rev kept with
+      | (last, _) :: _ -> Some (if reverse then last else Types.next_key last)
+      | [] -> None
+    else if not drained then Some (if reverse then span_lo else span_hi)
+    else None
+  in
+  Future.return (kept, continuation)
+
+let budgets_of_mode mode ~remaining =
+  match mode with
+  | `Want_all -> (remaining, Params.range_bytes_want_all)
+  | `Iterator ->
+      (min remaining Params.range_rows_per_batch, !Params.range_bytes_per_req)
+  | `Exact n -> (min remaining (max 1 n), Params.range_bytes_want_all)
+
+(* Full range read over already-resolved endpoints: loop [read_merged]
+   batches, stitching continuations, until the range is drained or [limit]
+   rows are in hand. *)
+let get_range_resolved ?(snapshot = false) ?(limit = 1000) ?(reverse = false)
+    ?(mode = `Want_all) t ~from ~until () =
   check_not_committed t;
   if from >= until then Future.return []
   else begin
-    if until > Types.key_space_end then raise (Error.Fdb Error.Key_outside_legal_range);
-    let* version = snapshot_info t in
+    if until > Types.key_space_end then
+      raise (Error.Fdb Error.Key_outside_legal_range);
+    let* snap = snapshot_info t in
+    (* Conflict on the whole requested range up front (pre-pipeline
+       behavior): the result logically depends on all of it. *)
     if not snapshot then add_read_conflict_range t ~from ~until;
-    let buffered_in_range =
-      KeyMap.to_seq t.writes
-      |> Seq.filter (fun (k, _) -> from <= k && k < until)
-      |> List.of_seq
-    in
-    (* Fetch from storage, overlay the write buffer, and keep fetching if
-       masking dropped us below the limit while more data may exist. *)
-    let rec fetch cursor acc =
-      let remaining = limit - List.length acc in
-      let exhausted_range = if reverse then cursor <= from else cursor >= until in
-      if remaining <= 0 || exhausted_range then Future.return acc
-      else
-        let f, u = if reverse then (from, cursor) else (cursor, until) in
-        let* rows = storage_get_range t ~from:f ~until:u ~version ~limit:remaining ~reverse in
-        let exhausted = List.length rows < remaining in
-        let visible =
-          List.filter
-            (fun (k, _) ->
-              (not (in_cleared t k)) && not (KeyMap.mem k t.writes))
-            rows
+    let rec loop ~from ~until acc collected =
+      let remaining = limit - collected in
+      if remaining <= 0 then Future.return (List.concat (List.rev acc))
+      else begin
+        let row_limit, byte_limit = budgets_of_mode mode ~remaining in
+        let* rows, continuation =
+          read_merged t ~snap ~from ~until ~reverse ~row_limit ~byte_limit
+            ~conflict:false
         in
-        let acc = acc @ visible in
-        if exhausted then Future.return acc
-        else
-          match List.rev rows with
-          | [] -> Future.return acc
-          | (last, _) :: _ ->
-              let cursor = if reverse then last else Types.next_key last in
-              fetch cursor acc
+        let acc = rows :: acc in
+        match continuation with
+        | None -> Future.return (List.concat (List.rev acc))
+        | Some c ->
+            let from, until = if reverse then (from, c) else (c, until) in
+            if from >= until then Future.return (List.concat (List.rev acc))
+            else loop ~from ~until acc (collected + List.length rows)
+      end
     in
-    let* base = fetch (if reverse then until else from) [] in
-    (* Overlay buffered writes (sets and atomics; atomics over unseen base
-       are computed against an absent base, which is exact because a key
-       absent from [base] either does not exist or was cleared). *)
-    let base_map =
-      List.fold_left (fun m (k, v) -> KeyMap.add k v m) KeyMap.empty base
-    in
-    let* overlaid =
-      let rec go acc = function
-        | [] -> Future.return acc
-        | (k, B_set v) :: rest -> go (KeyMap.add k v acc) rest
-        | (_, B_clear) :: rest -> go acc rest
-        | (k, B_atomic ops) :: rest ->
-            let* base_v =
-              match KeyMap.find_opt k base_map with
-              | Some v -> Future.return (Some v)
-              | None ->
-                  if in_cleared t k then Future.return None
-                  else storage_get t k version
-            in
-            let acc =
-              match apply_ops_to_base base_v ops with
-              | Some v -> KeyMap.add k v acc
-              | None -> acc
-            in
-            go acc rest
-      in
-      go base_map buffered_in_range
-    in
-    let all = KeyMap.bindings overlaid in
-    let all = if reverse then List.rev all else all in
-    let rec take n = function
-      | [] -> []
-      | _ when n = 0 -> []
-      | x :: tl -> x :: take (n - 1) tl
-    in
-    Future.return (take limit all)
+    loop ~from ~until [] 0
   end
+
+let get_range ?snapshot ?limit ?reverse ?mode t ~from ~until () =
+  get_range_resolved ?snapshot ?limit ?reverse ?mode t ~from ~until ()
+
+(* ---------- key-selector resolution ---------- *)
+
+(* Normalize a selector into a walk: [`Forward] finds the [need]-th key
+   [>= start]; [`Reverse] finds the [need]-th key [< start]. *)
+let selector_walk (sel : Key_selector.t) =
+  let start = if sel.sel_or_equal then Types.next_key sel.sel_key else sel.sel_key in
+  let start = if start > Types.key_space_end then Types.key_space_end else start in
+  if sel.sel_offset >= 1 then (`Forward, start, sel.sel_offset)
+  else (`Reverse, start, 1 - sel.sel_offset)
+
+(* Resolution against storage alone: walk shard fragments in scan order,
+   asking each team to advance the walk ([Storage_get_key]); a fragment
+   that exhausts without resolving reports how many keys it consumed and
+   the walk continues in the next shard. The MVCC window on the server
+   makes this exact at the transaction's read version. *)
+let storage_resolve t (version, rv_epoch) ~start ~reverse ~need =
+  let db = t.db in
+  let rec whole retries =
+    let from, until = if reverse then ("", start) else (start, Types.key_space_end) in
+    let frags =
+      let fs = Shard_map.shards_for_range db.ctx.Context.shard_map ~from ~until in
+      if reverse then List.rev fs else fs
+    in
+    let rec walk frags need =
+      match frags with
+      | [] -> Future.return None
+      | (f, u, team) :: rest ->
+          let* reply =
+            with_failover db ~team (fun ss ->
+                let ep = db.ctx.Context.storage_eps.(ss) in
+                let* r =
+                  Context.rpc db.ctx ~timeout:Params.client_read_timeout
+                    ~from:db.proc ep
+                    (Message.Storage_get_key
+                       {
+                         gk_from = f;
+                         gk_until = u;
+                         gk_reverse = reverse;
+                         gk_start = start;
+                         gk_need = need;
+                         gk_version = version;
+                         gk_epoch = rv_epoch;
+                       })
+                in
+                match r with
+                | Message.Storage_get_key_reply { kr_key; kr_seen } ->
+                    Future.return (kr_key, kr_seen)
+                | _ -> Future.fail (Error.Fdb Error.Timed_out))
+          in
+          (match reply with
+          | Some k, _ -> Future.return (Some k)
+          | None, seen -> walk rest (need - seen))
+    in
+    Future.catch
+      (fun () -> walk frags need)
+      (function
+        | Error.Fdb Error.Wrong_shard when retries > 0 -> whole (retries - 1)
+        | e -> Future.fail e)
+  in
+  whole 3
+
+(* Resolution through the RYW merge: when the transaction has buffered
+   writes or clears the storage answer alone is wrong, so walk merged
+   batches instead. *)
+let merged_nth t snap ~start ~reverse ~need =
+  let rec loop ~from ~until need =
+    if from >= until then Future.return None
+    else
+      let* rows, continuation =
+        read_merged t ~snap ~from ~until ~reverse ~row_limit:need
+          ~byte_limit:Params.range_bytes_want_all ~conflict:false
+      in
+      let n = List.length rows in
+      if n >= need then Future.return (Some (fst (List.nth rows (need - 1))))
+      else
+        match continuation with
+        | None -> Future.return None
+        | Some c ->
+            let from, until = if reverse then (from, c) else (c, until) in
+            loop ~from ~until (need - n)
+  in
+  if reverse then loop ~from:"" ~until:start need
+  else loop ~from:start ~until:Types.key_space_end need
+
+(* Resolve a selector to a concrete key, clamped to [""] /
+   [Types.key_space_end] when the walk runs off the edge of the key space
+   (the standard FDB clamp). *)
+let resolve_key t snap sel =
+  let dir, start, need = selector_walk sel in
+  let reverse = dir = `Reverse in
+  let* resolved =
+    if KeyMap.is_empty t.writes && t.cleared = [] then
+      storage_resolve t snap ~start ~reverse ~need
+    else merged_nth t snap ~start ~reverse ~need
+  in
+  Future.return
+    (match resolved with
+    | Some k -> k
+    | None -> if reverse then "" else Types.key_space_end)
+
+let get_key ?(snapshot = false) t sel =
+  check_not_committed t;
+  let* snap = snapshot_info t in
+  let* k = resolve_key t snap sel in
+  (if not snapshot then
+     (* Conflict on everything the resolution observed. *)
+     let dir, start, _ = selector_walk sel in
+     match dir with
+     | `Forward -> add_read_conflict_range t ~from:start ~until:(Types.next_key k)
+     | `Reverse -> add_read_conflict_range t ~from:k ~until:start);
+  Future.return k
+
+(* Range endpoints resolve with a fast path: firstGreaterOrEqual with no
+   offset IS its key as a range bound — no round-trip needed. *)
+let resolve_endpoint t snap (sel : Key_selector.t) =
+  if (not sel.sel_or_equal) && sel.sel_offset = 1 then Future.return sel.sel_key
+  else resolve_key t snap sel
+
+let clamp_key k = if k > Types.key_space_end then Types.key_space_end else k
+
+let get_range_sel ?(snapshot = false) ?(limit = 1000) ?(reverse = false)
+    ?(mode = `Want_all) t ~from ~until () =
+  check_not_committed t;
+  let* snap = snapshot_info t in
+  let* lo = resolve_endpoint t snap from in
+  let* hi = resolve_endpoint t snap until in
+  let lo = clamp_key lo and hi = clamp_key hi in
+  if lo >= hi then Future.return []
+  else begin
+    if not snapshot then add_read_conflict_range t ~from:lo ~until:hi;
+    get_range_resolved ~snapshot:true ~limit ~reverse ~mode t ~from:lo ~until:hi ()
+  end
+
+(* ---------- streaming range reads ---------- *)
+
+type batch = {
+  batch_rows : (string * string) list;
+  batch_continuation : string option;
+}
+
+let get_range_stream ?(snapshot = false) ?(reverse = false) ?(mode = `Iterator)
+    ?continuation t ~from ~until () =
+  check_not_committed t;
+  if until > Types.key_space_end then
+    raise (Error.Fdb Error.Key_outside_legal_range);
+  let from, until =
+    match continuation with
+    | None -> (from, until)
+    | Some c -> if reverse then (from, min c until) else (max c from, until)
+  in
+  if from >= until then Future.return { batch_rows = []; batch_continuation = None }
+  else
+    let* snap = snapshot_info t in
+    let row_limit, byte_limit =
+      match mode with
+      | `Want_all -> (1_000_000, Params.range_bytes_want_all)
+      | `Iterator -> (Params.range_rows_per_batch, !Params.range_bytes_per_req)
+      | `Exact n -> (max 1 n, Params.range_bytes_want_all)
+    in
+    let* rows, continuation =
+      read_merged t ~snap ~from ~until ~reverse ~row_limit ~byte_limit
+        ~conflict:(not snapshot)
+    in
+    Future.return { batch_rows = rows; batch_continuation = continuation }
 
 (* ---------- writes ---------- *)
 
@@ -484,16 +923,42 @@ let commit t =
 
 (* ---------- retry loop ---------- *)
 
-let run db ?(max_attempts = 64) f =
+let run db ?max_attempts ?options f =
+  let options = Option.value options ~default:default_options in
+  let retry_limit =
+    match (options.opt_retry_limit, max_attempts) with
+    | Some n, _ -> n
+    | None, Some n -> n
+    | None, None -> 64
+  in
+  let deadline = Option.map (fun s -> Engine.now () +. s) options.opt_timeout in
   let rec attempt n backoff =
-    let t = begin_tx db in
-    Future.catch
-      (fun () ->
-        let* result = f t in
-        let* _version = commit t in
-        Future.return result)
+    let t = begin_tx ~options db in
+    let body () =
+      let* result = f t in
+      let* _version = commit t in
+      Future.return result
+    in
+    let guarded () =
+      match deadline with
+      | None -> body ()
+      | Some d ->
+          let left = d -. Engine.now () in
+          if left <= 0.0 then Error.fail Error.Timed_out
+          else
+            Future.catch
+              (fun () -> Engine.timeout left (body ()))
+              (function
+                | Engine.Timed_out -> Error.fail Error.Timed_out
+                | e -> Future.fail e)
+    in
+    Future.catch guarded
       (function
-        | Error.Fdb e when Error.is_retryable e && n < max_attempts ->
+        | Error.Fdb e
+          when Error.is_retryable e && n < retry_limit
+               && (match deadline with
+                  | None -> true
+                  | Some d -> Engine.now () < d) ->
             let delay = Float.min backoff 1.0 +. Engine.random_float 0.05 in
             let* () = Engine.sleep delay in
             attempt (n + 1) (backoff *. 2.0)

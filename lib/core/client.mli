@@ -4,7 +4,14 @@
     from a Proxy, §2.4.1), buffers writes locally with read-your-writes
     semantics, and ships read/write conflict ranges and mutations to a
     Proxy at commit. Read-only transactions commit locally without
-    contacting the cluster. {!run} is the standard retry loop. *)
+    contacting the cluster. {!run} is the standard retry loop.
+
+    Range reads run through a parallel pipeline: the client resolves the
+    range into per-shard fragments against its shard map and keeps up to
+    {!Params.client_range_fanout} fragment sub-reads in flight, each
+    bounded by row and byte budgets, with replica choice load-balanced by
+    the deterministic RNG and transparent failover to another team member
+    on per-replica errors. *)
 
 type db
 type tx
@@ -20,9 +27,53 @@ val refresh : db -> unit Fdb_sim.Future.t
 (** Re-discover the current proxies via the coordinators/ClusterController.
     Called automatically when requests keep failing. *)
 
+(** {2 Key selectors} *)
+
+module Key_selector : sig
+  type t = Message.key_selector = {
+    sel_key : string;
+    sel_or_equal : bool;
+    sel_offset : int;
+  }
+  (** Resolution: find the last key [<= sel_key] ([< sel_key] when
+      [sel_or_equal] is false), then move [sel_offset] keys forward.
+      Resolution happens at the storage servers against the MVCC window at
+      the transaction's read version; walks that run off the edge of the
+      key space clamp to [""] / {!Types.key_space_end}. *)
+
+  val first_greater_or_equal : ?offset:int -> string -> t
+  val first_greater_than : ?offset:int -> string -> t
+  val last_less_or_equal : ?offset:int -> string -> t
+  val last_less_than : ?offset:int -> string -> t
+  (** The four canonical selectors; [offset] shifts the resolved key that
+      many keys forward (may be negative). *)
+end
+
+type streaming_mode = [ `Want_all | `Iterator | `Exact of int ]
+(** How a range read budgets its storage round-trips: [`Want_all] drains
+    the range with large batches, [`Iterator] uses modest row/byte budgets
+    per batch (the streaming default), [`Exact n] sizes batches for
+    exactly [n] rows. *)
+
+(** {2 Transaction options} *)
+
+type tx_options = {
+  opt_timeout : float option;  (** overall [run] deadline, seconds *)
+  opt_retry_limit : int option;  (** max [run] attempts *)
+  opt_max_read_bytes : int option;
+      (** per-transaction cap on bytes fetched from storage; exceeding it
+          fails the read with [Transaction_too_large] *)
+}
+
+val default_options : tx_options
+(** All [None]: no deadline, default retry limit, unbounded reads. *)
+
 (** {2 Transactions} *)
 
-val begin_tx : db -> tx
+val begin_tx : ?options:tx_options -> db -> tx
+
+val set_option : tx -> tx_options -> unit
+(** Replace the transaction's options (FDB's transaction option plumbing). *)
 
 val get_read_version : tx -> Types.version Fdb_sim.Future.t
 (** The transaction's snapshot version (first call contacts a Proxy). *)
@@ -39,16 +90,59 @@ val get : ?snapshot:bool -> tx -> string -> string option Fdb_sim.Future.t
 (** Point read with read-your-writes. [snapshot:true] skips the read
     conflict range (§2.4.1 snapshot reads). *)
 
+val get_key : ?snapshot:bool -> tx -> Key_selector.t -> string Fdb_sim.Future.t
+(** Resolve a key selector at the transaction's snapshot, merged with
+    buffered writes. Clamps to [""] / {!Types.key_space_end} off the ends. *)
+
 val get_range :
   ?snapshot:bool ->
   ?limit:int ->
   ?reverse:bool ->
+  ?mode:streaming_mode ->
   tx ->
   from:string ->
   until:string ->
   unit ->
   (string * string) list Fdb_sim.Future.t
-(** Ordered range read of [\[from, until)], merged with buffered writes. *)
+(** Ordered range read of [\[from, until)], merged with buffered writes.
+    Sugar over the selector form with [first_greater_or_equal] bounds. *)
+
+val get_range_sel :
+  ?snapshot:bool ->
+  ?limit:int ->
+  ?reverse:bool ->
+  ?mode:streaming_mode ->
+  tx ->
+  from:Key_selector.t ->
+  until:Key_selector.t ->
+  unit ->
+  (string * string) list Fdb_sim.Future.t
+(** Range read between two key selectors, resolved at the storage servers
+    against the MVCC window at the transaction's read version. *)
+
+(** {2 Streaming} *)
+
+type batch = {
+  batch_rows : (string * string) list;
+  batch_continuation : string option;
+      (** pass back as [?continuation] to fetch the next batch; [None]
+          when the range is exhausted *)
+}
+
+val get_range_stream :
+  ?snapshot:bool ->
+  ?reverse:bool ->
+  ?mode:streaming_mode ->
+  ?continuation:string ->
+  tx ->
+  from:string ->
+  until:string ->
+  unit ->
+  batch Fdb_sim.Future.t
+(** One bounded batch of [\[from, until)] with an explicit continuation
+    cursor, so callers can stream arbitrarily large ranges at bounded
+    memory. Each batch merges buffered writes and adds a read conflict
+    only over the span it actually observed. *)
 
 val set : tx -> string -> string -> unit
 val clear : tx -> string -> unit
@@ -74,10 +168,17 @@ val commit : tx -> Types.version Fdb_sim.Future.t
     read-only transactions). Fails with a typed {!Error.t}. Idempotent:
     repeated calls return the first outcome. *)
 
-val run : db -> ?max_attempts:int -> (tx -> 'a Fdb_sim.Future.t) -> 'a Fdb_sim.Future.t
+val run :
+  db ->
+  ?max_attempts:int ->
+  ?options:tx_options ->
+  (tx -> 'a Fdb_sim.Future.t) ->
+  'a Fdb_sim.Future.t
 (** Standard retry loop: run the body, commit, and retry (with capped
     exponential backoff) on retryable errors. The body must be idempotent
-    under retry, as in FDB. *)
+    under retry, as in FDB. [options] is threaded into every attempt's
+    transaction; [opt_retry_limit] overrides [max_attempts] and
+    [opt_timeout] bounds the whole loop, failing with [Timed_out]. *)
 
 val versionstamp_placeholder : string
 (** Ten zero bytes to embed where the stamp should land. *)

@@ -4,6 +4,7 @@ type t =
   | Transaction_too_old
   | Future_version
   | Process_behind
+  | Wrong_shard
   | Timed_out
   | Database_locked
   | Key_too_large
@@ -20,7 +21,7 @@ let fail e = Fdb_sim.Future.fail (Fdb e)
 
 let is_retryable = function
   | Not_committed | Commit_unknown_result | Transaction_too_old | Future_version
-  | Process_behind | Timed_out | Database_locked ->
+  | Process_behind | Wrong_shard | Timed_out | Database_locked ->
       true
   | Key_too_large | Value_too_large | Transaction_too_large | Key_outside_legal_range
   | Used_during_commit | Wrong_epoch | Internal _ ->
@@ -32,6 +33,7 @@ let to_string = function
   | Transaction_too_old -> "transaction_too_old"
   | Future_version -> "future_version"
   | Process_behind -> "process_behind"
+  | Wrong_shard -> "wrong_shard"
   | Timed_out -> "timed_out"
   | Database_locked -> "database_locked"
   | Key_too_large -> "key_too_large"

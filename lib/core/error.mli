@@ -8,6 +8,9 @@ type t =
   | Transaction_too_old  (** read version fell out of the MVCC window *)
   | Future_version  (** StorageServer has not yet caught up to the version *)
   | Process_behind  (** StorageServer lagging too far; retry elsewhere *)
+  | Wrong_shard
+      (** StorageServer no longer serves the requested range (the client's
+          shard-map snapshot went stale mid-read); re-resolve and retry *)
   | Timed_out
   | Database_locked  (** transaction system is recovering *)
   | Key_too_large

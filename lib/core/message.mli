@@ -7,6 +7,12 @@
 
 type key_range = string * string  (** [\[from, until)] *)
 
+(** A key selector on the wire (the FDB bindings' KeySelector): find the
+    last key [<= sel_key] ([< sel_key] when [sel_or_equal] is false), then
+    move [sel_offset] keys forward in key order. The client decomposes
+    resolution into per-shard {!Storage_get_key} walks. *)
+type key_selector = { sel_key : string; sel_or_equal : bool; sel_offset : int }
+
 (** A client mutation as submitted to a Proxy; versionstamped operations are
     materialized into plain mutations at commit time (§2.6). *)
 type client_mutation =
@@ -150,11 +156,34 @@ type t =
       gr_from : string;
       gr_until : string;
       gr_version : Types.version;
-      gr_limit : int;
+      gr_limit : int;  (** row budget for this round-trip *)
+      gr_byte_limit : int;  (** byte budget (>= 1 row always returned) *)
       gr_reverse : bool;
       gr_epoch : Types.epoch;
     }
-  | Storage_get_range_reply of (string * string) list
+  | Storage_get_range_reply of {
+      rr_rows : (string * string) list;
+      rr_more : bool;
+          (** the reply was cut by a budget; the caller drains the rest of
+              the range with continuation round-trips *)
+    }
+  | Storage_get_key of {
+      gk_from : string;  (** fragment to search, within one shard *)
+      gk_until : string;
+      gk_reverse : bool;  (** walk direction *)
+      gk_start : string;
+          (** walk origin: forward walks consider keys [>= gk_start],
+              reverse walks keys [< gk_start] (clipped to the fragment) *)
+      gk_need : int;  (** resolve to the gk_need-th visible key (>= 1) *)
+      gk_version : Types.version;
+      gk_epoch : Types.epoch;
+    }
+  | Storage_get_key_reply of {
+      kr_key : string option;  (** [Some k]: resolved inside the fragment *)
+      kr_seen : int;
+          (** keys consumed toward the offset when the walk ran off the
+              fragment edge ([kr_key = None]) *)
+    }
   (* ratekeeper *)
   | Rk_get_rate
   | Rk_rate of { tps : float }

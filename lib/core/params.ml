@@ -37,3 +37,12 @@ let ratekeeper_interval = 0.5
 let lease_duration = 3.0
 let storage_read_wait = 0.3
 let client_read_timeout = 0.6
+
+(* Range-read pipeline (client -> storage). A wide range read fans out
+   per-shard sub-reads concurrently; each round-trip carries a row AND a
+   byte budget so no single reply is unbounded, and oversized shards are
+   drained by continuation round-trips. *)
+let client_range_fanout = ref 4
+let range_rows_per_batch = 256
+let range_bytes_per_req = ref 65_536
+let range_bytes_want_all = 10_000_000

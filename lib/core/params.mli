@@ -63,3 +63,20 @@ val storage_read_wait : float
 
 val client_read_timeout : float
 (** Per-replica read attempt timeout before trying another replica. *)
+
+(* {2 Range-read pipeline} *)
+
+val client_range_fanout : int ref
+(** How many per-shard sub-reads a single range read keeps in flight
+    concurrently (default 4). Mutable: benches sweep it; 1 degrades to the
+    old sequential walk. *)
+
+val range_rows_per_batch : int
+(** Row budget of one iterator-mode streaming batch. *)
+
+val range_bytes_per_req : int ref
+(** Byte budget of one storage round-trip in iterator mode. Mutable: tests
+    shrink it to force continuation stitching. *)
+
+val range_bytes_want_all : int
+(** Byte budget per round-trip for [`Want_all]/[`Exact] reads. *)

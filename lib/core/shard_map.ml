@@ -1,8 +1,9 @@
 type t = {
   boundaries : (string * string) array; (* shard i covers [fst, snd) *)
   teams : int list array; (* shard i -> storage server ids *)
-  per_ss : (string * string) list array; (* ss id -> ranges served *)
+  mutable per_ss : (string * string) list array; (* ss id -> ranges served *)
   config : Config.t;
+  mutable generation : int; (* bumped on every runtime team change *)
 }
 
 (* Shard boundaries are two-byte prefixes splitting [""; "\xff\xff") evenly.
@@ -68,9 +69,34 @@ let build config =
       List.iter (fun ss -> per_ss.(ss) <- range :: per_ss.(ss)) team)
     teams;
   Array.iteri (fun i l -> per_ss.(i) <- List.rev l) per_ss;
-  { boundaries; teams; per_ss; config }
+  { boundaries; teams; per_ss; config; generation = 0 }
 
 let shard_count t = Array.length t.boundaries
+let generation t = t.generation
+
+let rebuild_per_ss t =
+  let n_ss = Array.length t.per_ss in
+  let per_ss = Array.make n_ss [] in
+  Array.iteri
+    (fun i team ->
+      List.iter (fun ss -> per_ss.(ss) <- t.boundaries.(i) :: per_ss.(ss)) team)
+    t.teams;
+  Array.iteri (fun i l -> per_ss.(i) <- List.rev l) per_ss;
+  t.per_ss <- per_ss
+
+(* Runtime team reassignment (the data-distribution plane's move primitive).
+   No data movement is modelled: callers may only shrink or permute a team,
+   or grow it with servers that already hold the data. Readers that resolved
+   the old team learn about the change through Wrong_shard rejections. *)
+let set_team t ~shard ~team =
+  if team = [] then invalid_arg "Shard_map.set_team: empty team";
+  t.teams.(shard) <- team;
+  t.generation <- t.generation + 1;
+  rebuild_per_ss t;
+  Fdb_sim.Trace.emit "shard_map_set_team"
+    [ ("shard", string_of_int shard);
+      ("team", String.concat "," (List.map string_of_int team));
+      ("generation", string_of_int t.generation) ]
 
 (* Binary search for the shard containing [key]. *)
 let shard_index t key =

@@ -13,6 +13,16 @@ val build : Config.t -> t
 
 val shard_count : t -> int
 
+val generation : t -> int
+(** Bumped on every runtime team change; clients compare it to detect a
+    stale shard resolution. *)
+
+val set_team : t -> shard:int -> team:int list -> unit
+(** Reassign a shard's replica team at runtime (bumps {!generation}). No
+    data movement is modelled: only shrink/permute a team, or grow it with
+    servers that already hold the data. Storage servers consult the map
+    live, so members removed from a team start answering [Wrong_shard]. *)
+
 val team_for_key : t -> string -> int list
 (** StorageServer ids replicating the shard that contains the key. *)
 

@@ -12,7 +12,6 @@ type t = {
   ep : int;
   id : int; (* also the tag *)
   disk : Disk.t;
-  shards : (string * string) list;
   pstore : Pstore.t;
   window : Window.t;
   mutable version : Types.version; (* caught up through this version *)
@@ -45,8 +44,20 @@ let lag_seconds t =
   let lag = Int64.to_float (Int64.sub (time_version ()) t.version) /. Types.versions_per_second in
   if lag < 0.0 then 0.0 else lag
 
+(* The served ranges come live from the shared shard map, so a runtime team
+   change (Shard_map.set_team) takes effect on the next request — members
+   removed from a team start answering Wrong_shard instead of silently
+   serving (or silently missing) data. *)
+let served_shards t = Shard_map.shards_of_storage t.ctx.Context.shard_map t.id
+
 let in_shards t key =
-  List.exists (fun (lo, hi) -> lo <= key && key < hi) t.shards
+  List.exists (fun (lo, hi) -> lo <= key && key < hi) (served_shards t)
+
+(* Does this server serve the whole [from, until)? Client sub-reads are
+   per-shard fragments, so a single served range must cover it. *)
+let covers t ~from ~until =
+  from >= until
+  || List.exists (fun (lo, hi) -> lo <= from && until <= hi) (served_shards t)
 
 let clip_to_shards t ~from ~until =
   List.filter_map
@@ -54,7 +65,7 @@ let clip_to_shards t ~from ~until =
       let f = if from > lo then from else lo in
       let u = if until < hi then until else hi in
       if f < u then Some (f, u) else None)
-    t.shards
+    (served_shards t)
 
 (* Value visible at [v] while applying version [v] itself: within one
    commit version, later mutations must observe earlier ones (atomic ops
@@ -318,15 +329,20 @@ let read_at t version key =
 
 (* Merge the persistent image and the window overlay for a range read.
    Forward scan with chunked persistent reads; candidate keys come from
-   both sources, visibility is decided per key at [version]. *)
-let range_read t version ~from ~until ~limit =
+   both sources, visibility is decided per key at [version]. Stops at the
+   row or byte budget (always returning at least one row when any is
+   visible); [more = true] reports a budget cut, so the caller knows to
+   drain the rest with a continuation round-trip. *)
+let range_read t version ~from ~until ~limit ~byte_limit =
   let limit = min limit 10_000_000 in
-  let chunk_size = limit + 16 in
+  let chunk_size = min limit 10_000 + 16 in
   let out = ref [] in
   let count = ref 0 in
+  let bytes = ref 0 in
   let cursor = ref from in
   let continue = ref true in
-  while !continue && !count < limit && !cursor < until do
+  let more = ref false in
+  while !continue && !count < limit && !bytes < byte_limit && !cursor < until do
     let chunk = Pstore.get_range t.pstore ~limit:chunk_size ~from:!cursor ~until () in
     (* This pass covers [cursor, pass_until): either the whole remaining
        range (chunk exhausted the store) or up to the chunk's last key. *)
@@ -341,28 +357,32 @@ let range_read t version ~from ~until ~limit =
     let candidates = List.sort_uniq compare (List.map fst chunk @ window_keys) in
     List.iter
       (fun k ->
-        if !count < limit then
+        if !count >= limit || !bytes >= byte_limit then more := true
+        else
           match read_at t version k with
           | Some v ->
               out := (k, v) :: !out;
-              incr count
+              incr count;
+              bytes := !bytes + String.length k + String.length v
           | None -> ())
       candidates;
     cursor := pass_until;
     if pass_until >= until then continue := false
   done;
-  List.rev !out
+  if !continue && !cursor < until then more := true;
+  (List.rev !out, !more)
 
-let range_read_reverse t version ~from ~until ~limit =
+let range_read_reverse t version ~from ~until ~limit ~byte_limit =
   let out = ref [] in
   let count = ref 0 in
+  let bytes = ref 0 in
   let cursor = ref until in
   let window_keys =
     Window.keys_in_range t.window ~from ~until |> List.sort compare |> List.rev
   in
   let wk = ref window_keys in
   let continue = ref true in
-  while !continue && !count < limit do
+  while !continue && !count < limit && !bytes < byte_limit do
     let p = Pstore.prev_entry t.pstore ~before:!cursor in
     let pk = match p with Some (k, _) when k >= from -> Some k | _ -> None in
     let wkey = match !wk with k :: _ when k < !cursor -> Some k | _ -> None in
@@ -379,12 +399,15 @@ let range_read_reverse t version ~from ~until ~limit =
         (match read_at t version k with
         | Some v ->
             out := (k, v) :: !out;
-            incr count
+            incr count;
+            bytes := !bytes + String.length k + String.length v
         | None -> ());
         cursor := k;
         wk := List.filter (fun x -> x < k) !wk
   done;
-  List.rev !out
+  (* [continue] still true here means a budget stop with candidates
+     possibly remaining below the cursor. *)
+  (List.rev !out, !continue)
 
 (* ---------- RPC surface ---------- *)
 
@@ -433,26 +456,36 @@ let handle t (msg : Message.t) : Message.t Future.t =
         Future.return (Message.Reject Error.Transaction_too_old)
       end
       else if not (in_shards t key) then
-        Future.return (Message.Reject (Error.Internal "wrong shard"))
+        Future.return (Message.Reject Error.Wrong_shard)
       else begin
         Fdb_obs.Registry.incr t.obs_reads;
         Fdb_obs.Registry.observe t.obs_read_lat (Engine.now () -. t0);
         Future.return (Message.Storage_get_reply (read_at t version key))
       end
-  | Message.Storage_get_range { gr_from; gr_until; gr_version; gr_limit; gr_reverse; gr_epoch }
-    ->
+  | Message.Storage_get_range
+      { gr_from; gr_until; gr_version; gr_limit; gr_byte_limit; gr_reverse; gr_epoch } ->
       if overloaded t then Future.return (Message.Reject Error.Process_behind)
+      else if
+        (* Buggify: an occasional spurious shed exercises the client's
+           replica-failover path under simulation. *)
+        Buggify.on ~p:0.1 "ss_flaky_range"
+      then Future.return (Message.Reject Error.Process_behind)
       else
       let* current = ensure_epoch t gr_epoch in
       let* ok = if current then wait_for_version t gr_version else Future.return false in
       if not (current && ok) then Future.return (Message.Reject Error.Future_version)
       else if gr_version < Window.oldest t.window && Window.oldest t.window > 0L then
         Future.return (Message.Reject Error.Transaction_too_old)
+      else if not (covers t ~from:gr_from ~until:gr_until) then
+        Future.return (Message.Reject Error.Wrong_shard)
       else begin
-        let results =
+        let results, more =
           if gr_reverse then
             range_read_reverse t gr_version ~from:gr_from ~until:gr_until ~limit:gr_limit
-          else range_read t gr_version ~from:gr_from ~until:gr_until ~limit:gr_limit
+              ~byte_limit:gr_byte_limit
+          else
+            range_read t gr_version ~from:gr_from ~until:gr_until ~limit:gr_limit
+              ~byte_limit:gr_byte_limit
         in
         let* () =
           Engine.cpu t.proc
@@ -460,7 +493,48 @@ let handle t (msg : Message.t) : Message.t Future.t =
                (Params.storage_per_point_read
                +. (Params.storage_per_range_key *. float_of_int (List.length results))))
         in
-        Future.return (Message.Storage_get_range_reply results)
+        Future.return (Message.Storage_get_range_reply { rr_rows = results; rr_more = more })
+      end
+  | Message.Storage_get_key
+      { gk_from; gk_until; gk_reverse; gk_start; gk_need; gk_version; gk_epoch } ->
+      (* Key-selector resolution (paper §2.2): walk gk_need visible keys at
+         the read version, inside one served fragment. Resolution runs
+         against the same MVCC window + persistent-store merge as range
+         reads, so a selector observes exactly the snapshot it should. *)
+      if overloaded t then Future.return (Message.Reject Error.Process_behind)
+      else if Buggify.on ~p:0.1 "ss_flaky_range" then
+        Future.return (Message.Reject Error.Process_behind)
+      else
+      let* current = ensure_epoch t gk_epoch in
+      let* ok = if current then wait_for_version t gk_version else Future.return false in
+      if not (current && ok) then Future.return (Message.Reject Error.Future_version)
+      else if gk_version < Window.oldest t.window && Window.oldest t.window > 0L then
+        Future.return (Message.Reject Error.Transaction_too_old)
+      else if not (covers t ~from:gk_from ~until:gk_until) then
+        Future.return (Message.Reject Error.Wrong_shard)
+      else begin
+        let need = max 1 gk_need in
+        let rows, _ =
+          if gk_reverse then
+            let until = if gk_start < gk_until then gk_start else gk_until in
+            range_read_reverse t gk_version ~from:gk_from ~until ~limit:need
+              ~byte_limit:max_int
+          else
+            let from = if gk_start > gk_from then gk_start else gk_from in
+            range_read t gk_version ~from ~until:gk_until ~limit:need ~byte_limit:max_int
+        in
+        let* () =
+          Engine.cpu t.proc
+            (Params.cpu
+               (Params.storage_per_point_read
+               +. (Params.storage_per_range_key *. float_of_int (List.length rows))))
+        in
+        let seen = List.length rows in
+        if seen >= need then
+          Future.return
+            (Message.Storage_get_key_reply
+               { kr_key = Some (fst (List.nth rows (need - 1))); kr_seen = seen })
+        else Future.return (Message.Storage_get_key_reply { kr_key = None; kr_seen = seen })
       end
   | Message.Ss_recover { sr_epoch; sr_rv; sr_history; sr_logs } ->
       adopt t ~epoch:sr_epoch ~rv:sr_rv ~history:sr_history ~logs:sr_logs;
@@ -492,7 +566,6 @@ let rec create ctx proc ~id ~disk =
       ep = ctx.Context.storage_eps.(id);
       id;
       disk;
-      shards = Shard_map.shards_of_storage ctx.Context.shard_map id;
       pstore;
       window = Window.create ~initial_version:start_version ();
       version = start_version;

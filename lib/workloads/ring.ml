@@ -72,7 +72,22 @@ let check db ~n =
     (fun () ->
       let* entries =
         Client.run db (fun tx ->
-            Client.get_range tx ~limit:(n + 10) ~from:"ring/" ~until:"ring0" ())
+            (* Stream the whole ring in bounded batches, stitching the
+               explicit continuations — the check never holds more than a
+               batch of wire data in flight at once. *)
+            let rec scan ?continuation acc seen =
+              if seen > n + 10 then Future.return (List.rev acc)
+              else
+                let* b =
+                  Client.get_range_stream ?continuation tx ~from:"ring/"
+                    ~until:"ring0" ()
+                in
+                let acc = List.rev_append b.Client.batch_rows acc in
+                match b.Client.batch_continuation with
+                | Some c -> scan ~continuation:c acc (seen + List.length b.Client.batch_rows)
+                | None -> Future.return (List.rev acc)
+            in
+            scan [] 0)
       in
       if List.length entries <> n then
         Future.return (Error (Printf.sprintf "expected %d nodes, found %d" n (List.length entries)))

@@ -18,6 +18,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("tuple", Test_tuple.suite);
       ("client-ryw", Test_client_ryw.suite);
+      ("range-pipeline", Test_range_pipeline.suite);
       ("log-server", Test_log_server.suite);
       ("resolver", Test_resolver.suite);
       ("task-bucket", Test_task_bucket.suite);
