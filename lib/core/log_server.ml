@@ -29,8 +29,11 @@ type t = {
   entries : (Types.version, Message.log_entry) Det_tbl.t;
   (* Chain index: prev LSN -> entry LSN (point lookups only). *)
   next : (Types.version, Types.version) Hashtbl.t;
-  (* Pushes that arrived before their predecessor. *)
-  pending : (Types.version, Message.log_entry) Det_tbl.t;
+  (* Pushes that arrived before their predecessor, keyed by the missing
+     prev LSN, with the reply promise their push RPC is blocked on. With a
+     pipelined proxy this is a hot path: batch N+1's push routinely lands
+     while batch N is still on the wire. *)
+  pending : (Types.version, Message.log_entry * Message.t Future.promise) Det_tbl.t;
   (* Per-tag unpopped payload, oldest first (reversed storage). *)
   per_tag : (Types.tag, (Types.version * Fdb_kv.Mutation.t list) list ref) Hashtbl.t;
   pop_floor : (Types.tag, Types.version) Det_tbl.t;
@@ -127,11 +130,19 @@ let rec accept t (e : Message.log_entry) =
   Fdb_obs.Registry.set_gauge t.obs_unpopped (float_of_int t.unpopped_bytes);
   let durable = persist_entry t e in
   (match Det_tbl.find_opt t.pending e.Message.le_lsn with
-  | Some successor ->
+  | Some (successor, promise) ->
       Det_tbl.remove t.pending e.Message.le_lsn;
-      (* The successor's own durability future: its push RPC already holds
-         a reference via waiting_sync, so dropping this copy loses nothing. *)
-      ignore (accept t successor : unit Future.t)
+      (* Unpark the successor: its push RPC replies once its own record is
+         durable (the group-commit sync covers both appends). *)
+      let succ_durable = accept t successor in
+      Future.on_resolve succ_durable (fun _ ->
+          if
+            not
+              (Future.try_fulfill promise
+                 (Message.Log_push_ack { durable_version = t.dv }))
+          then
+            Trace.emit "tlog_parked_ack_lost"
+              [ ("lsn", Int64.to_string successor.Message.le_lsn) ])
   | None -> ());
   durable
 
@@ -262,16 +273,27 @@ let handle t (msg : Message.t) : Message.t Future.t =
           let* () = accept t lp_entry in
           Future.return (Message.Log_push_ack { durable_version = t.dv })
         else if lp_entry.Message.le_prev > t.rcv then begin
-          (* Out of order: park; ack only when it becomes durable in order. *)
-          Det_tbl.replace t.pending lp_entry.Message.le_prev lp_entry;
-          let rec wait () =
-            let* () = Engine.sleep 1e-3 in
-            if t.dv >= lp_entry.Message.le_lsn then
-              Future.return (Message.Log_push_ack { durable_version = t.dv })
-            else if t.stopped then Future.return (Message.Reject Error.Wrong_epoch)
-            else wait ()
-          in
-          wait ()
+          (* Out of order: park with our reply promise; [accept] of the
+             predecessor fulfills it once this record is durable in order,
+             and [Log_lock] fails it if the epoch ends first. (Replaces a
+             1ms polling loop — with the pipelined proxy parking is the
+             common case, not a rarity.) *)
+          if Det_tbl.mem t.pending lp_entry.Message.le_prev then begin
+            (* A parked promise must never be silently overwritten (lost
+               wakeup); a second push on the same prev slot only happens on
+               duplicated traffic, which may safely fail. *)
+            Trace.emit "tlog_park_dup"
+              [ ("lsn", Int64.to_string lp_entry.Message.le_lsn) ];
+            Future.return (Message.Reject (Error.Internal "tlog: park slot taken"))
+          end
+          else begin
+            let fut, promise = Future.make () in
+            Det_tbl.replace t.pending lp_entry.Message.le_prev (lp_entry, promise);
+            Trace.emit "tlog_park"
+              [ ("lsn", Int64.to_string lp_entry.Message.le_lsn);
+                ("prev", Int64.to_string lp_entry.Message.le_prev) ];
+            fut
+          end
         end
         else Future.return (Message.Reject (Error.Internal "tlog: chain regression"))
       end
@@ -288,6 +310,18 @@ let handle t (msg : Message.t) : Message.t Future.t =
       if ll_epoch > t.epoch then begin
         if not t.stopped then begin
           t.stopped <- true;
+          (* Parked pushes can never be unparked now: reply with a definite
+             rejection rather than letting their RPCs run out the clock
+             (a broken handler future would send no reply at all). *)
+          let parked = Det_tbl.fold (fun _ v acc -> v :: acc) t.pending [] in
+          Det_tbl.reset t.pending;
+          List.iter
+            (fun ((e : Message.log_entry), promise) ->
+              if not (Future.try_fulfill promise (Message.Reject Error.Wrong_epoch))
+              then
+                Trace.emit "tlog_parked_ack_lost"
+                  [ ("lsn", Int64.to_string e.Message.le_lsn) ])
+            parked;
           Trace.emit "tlog_locked"
             [ ("id", string_of_int t.id); ("epoch", string_of_int t.epoch);
               ("by", string_of_int ll_epoch); ("dv", Int64.to_string t.dv) ]
@@ -380,7 +414,12 @@ let resurrect ctx proc ~disk ~(meta : meta) =
       records
   in
   (* Seeds (lsn <= start) and already-pruned-floor records are durable
-     history; chain records must form a contiguous prefix from the floor. *)
+     history; chain records must form a contiguous prefix from the floor
+     (collected in a scratch table by LSN, not [t.pending], which holds
+     live parked pushes with reply promises). *)
+  let scratch : (Types.version, Message.log_entry) Det_tbl.t =
+    Det_tbl.create ~size:1024 ()
+  in
   List.iter
     (fun (e : Message.log_entry) ->
       if e.Message.le_lsn <= floor && not (Det_tbl.mem t.entries e.Message.le_lsn)
@@ -389,13 +428,13 @@ let resurrect ctx proc ~disk ~(meta : meta) =
         index_payload t e
       end
       else if e.Message.le_lsn > floor then
-        Det_tbl.replace t.pending e.Message.le_lsn e)
+        Det_tbl.replace scratch e.Message.le_lsn e)
     parsed;
   let rec chain v =
-    let candidates = Det_tbl.fold (fun lsn e acc -> if e.Message.le_prev = v then (lsn, e) :: acc else acc) t.pending [] in
+    let candidates = Det_tbl.fold (fun lsn e acc -> if e.Message.le_prev = v then (lsn, e) :: acc else acc) scratch [] in
     match candidates with
     | (lsn, e) :: _ ->
-        Det_tbl.remove t.pending lsn;
+        Det_tbl.remove scratch lsn;
         Det_tbl.replace t.entries lsn e;
         Hashtbl.replace t.next v lsn;
         index_payload t e;
@@ -408,7 +447,6 @@ let resurrect ctx proc ~disk ~(meta : meta) =
   t.rcv <- dv;
   Fdb_obs.Registry.set_gauge t.obs_dv (Int64.to_float dv);
   Fdb_obs.Registry.set_gauge t.obs_rcv (Int64.to_float dv);
-  Det_tbl.reset t.pending;
   Network.register ctx.Context.net meta.m_endpoint proc (handle t);
   Trace.emit "tlog_resurrected"
     [ ("id", string_of_int meta.m_id); ("epoch", string_of_int meta.m_epoch);

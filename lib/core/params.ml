@@ -29,6 +29,7 @@ let storage_per_apply_byte = 4e-9
 let grv_batch_interval = 5e-4
 let commit_batch_interval = ref 1e-3
 let max_commit_batch = ref 512
+let proxy_commit_pipeline_depth = ref 4
 let storage_peek_interval = 5e-3
 let storage_durable_interval = 0.25
 let heartbeat_interval = 0.25

@@ -45,6 +45,14 @@ val commit_batch_interval : float ref
 val max_commit_batch : int ref
 (** Mutable: the batching ablation sweeps it; 1 = no batching. *)
 
+val proxy_commit_pipeline_depth : int ref
+(** How many commit batches one proxy keeps in flight concurrently
+    (default 4). Batch N+1 fetches its own LSN and overlaps resolution and
+    log pushes with batch N's push/report; an in-order completion stage
+    keeps [Seq_report]s LSN-ordered and the proxy KCV monotone. 1 selects
+    the serial pre-pipeline commit path (kept verbatim as the benchmark
+    baseline). Mutable: benches sweep it; tests pin it. *)
+
 val storage_peek_interval : float
 (** How often a StorageServer polls its LogServer for new mutations. *)
 

@@ -1,8 +1,16 @@
 open Fdb_sim
 open Future.Syntax
 module Mutation = Fdb_kv.Mutation
+module Det_tbl = Fdb_util.Det_tbl
 
 type pending_commit = Message.txn_request * Message.t Future.promise
+
+(* Fate of one batch in the pipeline's in-order completion chain. A batch
+   may resolve and push concurrently with its predecessors, but it learns
+   whether it is allowed to report/reply only from its predecessor's
+   outcome: once any batch fails, every later in-flight batch must fail
+   too (its push may or may not survive the coming recovery). *)
+type batch_outcome = Batch_ok | Batch_failed
 
 type t = {
   ctx : Context.t;
@@ -15,23 +23,38 @@ type t = {
   ratekeeper : int option;
   mutable kcv : Types.version;
   mutable dead : bool;
-  (* GRV batching + rate limiting *)
-  mutable grv_queue : Message.t Future.promise list;
+  (* GRV batching + rate limiting. [Queue] gives O(1) enqueue/dequeue and
+     an O(1) length, replacing the former list + List.rev/split shuffles. *)
+  grv_queue : Message.t Future.promise Queue.t;
   mutable grv_flush_scheduled : bool;
   mutable rate : float; (* transactions/second budget from the Ratekeeper *)
   mutable tokens : float;
   mutable last_refill : float;
-  (* commit batching *)
-  mutable commit_queue : pending_commit list;
+  (* commit batching + pipelining *)
+  commit_queue : pending_commit Queue.t;
   mutable commit_flush_scheduled : bool;
+  mutable commit_inflight : int;
+  (* The pipeline's two ordering chains, each pointing at the most recently
+     launched batch. [chain_version] resolves once that batch holds its
+     (lsn, prev) pair — the next batch asks the Sequencer only then, so
+     LSNs are assigned in launch order. [chain_done] resolves once that
+     batch has reported and replied (or failed) — the next batch enters
+     its completion stage only then, so Seq_reports reach the Sequencer in
+     LSN order and t.kcv advances monotonically. *)
+  mutable chain_version : unit Future.t;
+  mutable chain_done : batch_outcome Future.t;
   (* metrics plane handles (no-ops when the registry is disabled) *)
   obs_grv_lat : Fdb_obs.Registry.timer;
   obs_commit_lat : Fdb_obs.Registry.timer;
+  obs_resolve_lat : Fdb_obs.Registry.timer;
+  obs_logpush_lat : Fdb_obs.Registry.timer;
   obs_grv_served : Fdb_obs.Registry.counter;
   obs_attempts : Fdb_obs.Registry.counter;
   obs_commits : Fdb_obs.Registry.counter;
   obs_conflicts : Fdb_obs.Registry.counter;
   obs_too_old : Fdb_obs.Registry.counter;
+  obs_inflight : Fdb_obs.Registry.gauge;
+  obs_queue_depth : Fdb_obs.Registry.gauge;
 }
 
 let known_committed t = t.kcv
@@ -52,55 +75,55 @@ let refill_tokens t =
   let cap = max 2000.0 (t.rate *. 0.2) in
   t.tokens <- Float.min cap (t.tokens +. (dt *. t.rate))
 
+(* Pop up to [n] waiters, oldest first. *)
+let dequeue_up_to q n =
+  let rec go n acc =
+    if n = 0 || Queue.is_empty q then List.rev acc
+    else go (n - 1) (Queue.pop q :: acc)
+  in
+  go n []
+
 let rec grv_flush t =
   t.grv_flush_scheduled <- false;
-  match t.grv_queue with
-  | [] -> Future.return ()
-  | _ ->
-      refill_tokens t;
-      let available = int_of_float t.tokens in
-      if available <= 0 then begin
-        (* Ratekeeper throttling: try again shortly; requests queue up. *)
-        let* () = Engine.sleep 0.01 in
-        grv_flush t
-      end
-      else begin
-        let batch, rest =
-          let rec split n acc = function
-            | [] -> (List.rev acc, [])
-            | l when n = 0 -> (List.rev acc, l)
-            | x :: tl -> split (n - 1) (x :: acc) tl
-          in
-          split available [] (List.rev t.grv_queue)
-        in
-        t.grv_queue <- List.rev rest;
-        t.tokens <- t.tokens -. float_of_int (List.length batch);
-        let* () = Engine.cpu t.proc Params.proxy_per_batch in
-        let* reply =
-          Future.catch
-            (fun () ->
-              Context.rpc t.ctx ~timeout:2.0 ~from:t.proc t.sequencer Message.Seq_grv)
-            (fun _ ->
-              (* Our sequencer is unreachable: this generation is over. *)
-              die t "sequencer unreachable (grv)";
-              Future.return (Message.Reject Error.Database_locked))
-        in
-        (match reply with
-        | Message.Seq_grv_reply { read_version; grv_epoch } ->
-            List.iter
-              (fun p ->
-                ignore
-                  (Future.try_fulfill p
-                     (Message.Grv_reply { gv_version = read_version; gv_epoch = grv_epoch })
-                   : bool))
-              batch
-        | _ ->
-            List.iter
-              (fun p ->
-                ignore (Future.try_fulfill p (Message.Reject Error.Database_locked) : bool))
-              batch);
-        if t.grv_queue <> [] then grv_flush t else Future.return ()
-      end
+  if Queue.is_empty t.grv_queue then Future.return ()
+  else begin
+    refill_tokens t;
+    let available = int_of_float t.tokens in
+    if available <= 0 then begin
+      (* Ratekeeper throttling: try again shortly; requests queue up. *)
+      let* () = Engine.sleep 0.01 in
+      grv_flush t
+    end
+    else begin
+      let batch = dequeue_up_to t.grv_queue available in
+      t.tokens <- t.tokens -. float_of_int (List.length batch);
+      let* () = Engine.cpu t.proc Params.proxy_per_batch in
+      let* reply =
+        Future.catch
+          (fun () ->
+            Context.rpc t.ctx ~timeout:2.0 ~from:t.proc t.sequencer Message.Seq_grv)
+          (fun _ ->
+            (* Our sequencer is unreachable: this generation is over. *)
+            die t "sequencer unreachable (grv)";
+            Future.return (Message.Reject Error.Database_locked))
+      in
+      (match reply with
+      | Message.Seq_grv_reply { read_version; grv_epoch } ->
+          List.iter
+            (fun p ->
+              ignore
+                (Future.try_fulfill p
+                   (Message.Grv_reply { gv_version = read_version; gv_epoch = grv_epoch })
+                 : bool))
+            batch
+      | _ ->
+          List.iter
+            (fun p ->
+              ignore (Future.try_fulfill p (Message.Reject Error.Database_locked) : bool))
+            batch);
+      if not (Queue.is_empty t.grv_queue) then grv_flush t else Future.return ()
+    end
+  end
 
 let schedule_grv_flush t =
   if not t.grv_flush_scheduled then begin
@@ -195,11 +218,19 @@ let resolve_batch t lsn prev txns =
   Future.return combined
 
 (* Figure 2: route each mutation to the LogServers replicating its tags;
-   every LogServer receives the entry (possibly with an empty payload). *)
-let build_log_entries t lsn prev committed_mutations =
+   every LogServer receives the entry (possibly with an empty payload).
+   Accumulation is a per-log tag table of reversed lists — O(1) per
+   (mutation, tag, replica) instead of the former assoc-list rebuild — and
+   the payload's tag order is the deterministic ascending-tag order.
+   [kcv] is the caller's snapshot of the proxy KCV at entry-build time:
+   with overlapping batches it must not be re-read from shared state after
+   later batches complete. *)
+let build_log_entries t lsn prev ~kcv committed_mutations =
   let n_logs = List.length t.logs in
   let replication = t.ctx.Context.config.Config.log_replication in
-  let per_log : (Types.tag * Mutation.t list) list array = Array.make n_logs [] in
+  let per_log : (Types.tag, Mutation.t list ref) Det_tbl.t array =
+    Array.init n_logs (fun _ -> Det_tbl.create ~size:8 ())
+  in
   List.iter
     (fun (m : Mutation.t) ->
       let tags = Shard_map.tags_for_mutation t.ctx.Context.shard_map m in
@@ -207,18 +238,17 @@ let build_log_entries t lsn prev committed_mutations =
         (fun tag ->
           List.iter
             (fun li ->
-              let existing = per_log.(li) in
-              per_log.(li) <-
-                (match List.assoc_opt tag existing with
-                | Some muts ->
-                    (tag, muts @ [ m ]) :: List.remove_assoc tag existing
-                | None -> (tag, [ m ]) :: existing))
+              let cell = Det_tbl.find_or_add per_log.(li) tag (fun () -> ref []) in
+              cell := m :: !cell)
             (List.init (min replication n_logs) (fun i -> (tag + i) mod n_logs)))
         tags)
     committed_mutations;
   Array.map
-    (fun payload ->
-      { Message.le_lsn = lsn; le_prev = prev; le_kcv = t.kcv; le_payload = payload })
+    (fun tbl ->
+      let payload =
+        List.map (fun (tag, muts) -> (tag, List.rev !muts)) (Det_tbl.to_sorted_list tbl)
+      in
+      { Message.le_lsn = lsn; le_prev = prev; le_kcv = kcv; le_payload = payload })
     per_log
 
 let push_to_logs t entries =
@@ -247,6 +277,40 @@ let push_to_logs t entries =
   let* acks = Future.all pushes in
   Future.return (List.for_all Fun.id acks)
 
+(* Materialize the winners' mutations in batch order (reverse-accumulate,
+   one final reverse — the former [acc @ ...] was quadratic in batch
+   size). *)
+let committed_payload lsn txns verdicts promises =
+  let rev = ref [] in
+  Array.iteri
+    (fun i verdict ->
+      match verdict with
+      | Message.V_commit ->
+          rev := List.rev_append (materialize_mutations lsn i txns.(i)) !rev
+      | Message.V_conflict ->
+          ignore
+            (Future.try_fulfill promises.(i) (Message.Reject Error.Not_committed) : bool)
+      | Message.V_too_old ->
+          ignore
+            (Future.try_fulfill promises.(i) (Message.Reject Error.Transaction_too_old)
+             : bool))
+    verdicts;
+  List.rev !rev
+
+let reply_committed promises verdicts reply =
+  Array.iteri
+    (fun i verdict ->
+      if verdict = Message.V_commit then
+        ignore (Future.try_fulfill promises.(i) reply : bool))
+    verdicts
+
+(* ---------- the serial commit path (pipeline depth 1) ----------
+
+   The pre-pipeline implementation, kept verbatim as the baseline the
+   commit-pipeline benchmark and the serial-vs-pipelined equivalence tests
+   run against: one batch at a time, each awaited end-to-end (version RPC,
+   resolve, log push, report) before the next starts. *)
+
 let commit_batch t (batch : pending_commit list) =
   let txns = Array.of_list (List.map fst batch) in
   let promises = Array.of_list (List.map snd batch) in
@@ -273,31 +337,12 @@ let commit_batch t (batch : pending_commit list) =
   | Message.Seq_version_reply { version = lsn; prev } ->
       let* verdicts = resolve_batch t lsn prev txns in
       (* Abort losers immediately; build the committed payload. *)
-      let committed_mutations = ref [] in
-      Array.iteri
-        (fun i verdict ->
-          match verdict with
-          | Message.V_commit ->
-              committed_mutations := !committed_mutations @ materialize_mutations lsn i txns.(i)
-          | Message.V_conflict ->
-              ignore
-                (Future.try_fulfill promises.(i) (Message.Reject Error.Not_committed) : bool)
-          | Message.V_too_old ->
-              ignore
-                (Future.try_fulfill promises.(i) (Message.Reject Error.Transaction_too_old)
-                 : bool))
-        verdicts;
-      let entries = build_log_entries t lsn prev !committed_mutations in
+      let committed_mutations = committed_payload lsn txns verdicts promises in
+      let entries = build_log_entries t lsn prev ~kcv:t.kcv committed_mutations in
       let* all_acked = push_to_logs t entries in
       if not all_acked then begin
         (* Durability unknown: recovery will decide. Fail the epoch. *)
-        Array.iteri
-          (fun i verdict ->
-            if verdict = Message.V_commit then
-              ignore
-                (Future.try_fulfill promises.(i) (Message.Reject Error.Commit_unknown_result)
-                 : bool))
-          verdicts;
+        reply_committed promises verdicts (Message.Reject Error.Commit_unknown_result);
         die t "log push failed";
         Future.return ()
       end
@@ -322,23 +367,14 @@ let commit_batch t (batch : pending_commit list) =
         if not reported then begin
           (* Durable but unannounced: only a new generation restores the
              GRV guarantee; clients must treat the outcome as unknown. *)
-          Array.iteri
-            (fun i verdict ->
-              if verdict = Message.V_commit then
-                ignore
-                  (Future.try_fulfill promises.(i)
-                     (Message.Reject Error.Commit_unknown_result)
-                   : bool))
-            verdicts;
+          reply_committed promises verdicts (Message.Reject Error.Commit_unknown_result);
           die t "sequencer unreachable (report)";
           Future.return ()
         end
         else begin
-          Array.iteri
-            (fun i verdict ->
-              if verdict = Message.V_commit then
-                ignore (Future.try_fulfill promises.(i) (Message.Commit_reply lsn) : bool))
-            verdicts;
+          Trace.emit "proxy_commit_done"
+            [ ("lsn", Int64.to_string lsn); ("kcv", Int64.to_string t.kcv) ];
+          reply_committed promises verdicts (Message.Commit_reply lsn);
           Future.return ()
         end
       end
@@ -349,21 +385,203 @@ let commit_batch t (batch : pending_commit list) =
         promises;
       Future.return ()
 
-let rec commit_flush t =
+let rec commit_flush_serial t =
   t.commit_flush_scheduled <- false;
-  match t.commit_queue with
-  | [] -> Future.return ()
-  | queue ->
-      let all = List.rev queue in
-      let rec split n acc = function
-        | [] -> (List.rev acc, [])
-        | l when n = 0 -> (List.rev acc, l)
-        | x :: tl -> split (n - 1) (x :: acc) tl
-      in
-      let batch, rest = split !Params.max_commit_batch [] all in
-      t.commit_queue <- List.rev rest;
-      let* () = commit_batch t batch in
-      if t.commit_queue <> [] then commit_flush t else Future.return ()
+  if Queue.is_empty t.commit_queue then Future.return ()
+  else if t.commit_inflight >= 1 then
+    (* A racing flush (scheduled while the running one awaited its batch)
+       must not start a second concurrent batch: depth 1 means one batch in
+       flight, full stop. The running loop drains the queue. *)
+    Future.return ()
+  else begin
+    let batch = dequeue_up_to t.commit_queue !Params.max_commit_batch in
+    Fdb_obs.Registry.set_gauge t.obs_queue_depth
+      (float_of_int (Queue.length t.commit_queue));
+    t.commit_inflight <- 1;
+    Fdb_obs.Registry.set_gauge t.obs_inflight 1.0;
+    let* () = commit_batch t batch in
+    t.commit_inflight <- 0;
+    Fdb_obs.Registry.set_gauge t.obs_inflight 0.0;
+    if not (Queue.is_empty t.commit_queue) then commit_flush_serial t
+    else Future.return ()
+  end
+
+(* ---------- the pipelined commit path (§2.4.1 LSN chaining) ----------
+
+   Up to [Params.proxy_commit_pipeline_depth] batches run concurrently.
+   Each fetches its own (lsn, prev) pair — gated on the previous batch's
+   fetch, so LSNs follow launch order — then resolves and pushes without
+   waiting for its predecessor; the Resolver's and LogServer's parked-batch
+   machinery re-orders out-of-order arrivals along the prev chain. The
+   completion stage is serialized: a batch reports to the Sequencer and
+   replies to its clients only after its predecessor resolved its fate, so
+   reports reach the Sequencer in LSN order, the KCV advances monotonically
+   and a failed batch fails every later in-flight batch. *)
+
+let commit_batch_pipelined t ~version_gate ~version_ready ~prev_done ~done_p
+    (batch : pending_commit list) =
+  let txns = Array.of_list (List.map fst batch) in
+  let promises = Array.of_list (List.map snd batch) in
+  let n = Array.length txns in
+  let bytes = Array.fold_left (fun acc txn -> acc + txn_bytes txn) 0 txns in
+  let release_version () = ignore (Future.try_fulfill version_ready () : bool) in
+  let finish outcome =
+    ignore (Future.try_fulfill done_p outcome : bool);
+    Future.return ()
+  in
+  let reject_all err =
+    Array.iter
+      (fun p -> ignore (Future.try_fulfill p (Message.Reject err) : bool))
+      promises
+  in
+  let* () =
+    Engine.cpu t.proc
+      (Params.proxy_per_batch
+      +. Params.cpu
+           ((Params.proxy_per_txn *. float_of_int n)
+           +. (Params.proxy_per_byte *. float_of_int bytes)))
+  in
+  (* Version gate: ask the Sequencer only after the previous batch holds
+     its version, so this proxy's LSNs are assigned in launch order. The
+     fetch is the only serialized stage before completion — resolution and
+     pushes below overlap freely across batches. *)
+  let* () = version_gate in
+  if t.dead then begin
+    release_version ();
+    (* Never assigned a version, nothing logged: definitely not committed. *)
+    reject_all Error.Database_locked;
+    finish Batch_failed
+  end
+  else
+    let* version_reply =
+      Future.catch
+        (fun () ->
+          Context.rpc t.ctx ~timeout:2.0 ~from:t.proc t.sequencer Message.Seq_version)
+        (fun _ ->
+          die t "sequencer unreachable (commit)";
+          Future.return (Message.Reject Error.Database_locked))
+    in
+    release_version ();
+    match version_reply with
+    | Message.Seq_version_reply { version = lsn; prev } ->
+        (* Buggify: stall THIS batch after it already holds its LSN — later
+           batches fetch theirs and race ahead, so their resolves and
+           pushes arrive out of chain order and exercise the parking lots
+           at the Resolver and the LogServers. *)
+        let* () = Engine.sleep (Buggify.delay ~p:0.05 "proxy_slow_commit" /. 20.0) in
+        let t_resolve = Engine.now () in
+        let* verdicts = resolve_batch t lsn prev txns in
+        Fdb_obs.Registry.observe t.obs_resolve_lat (Engine.now () -. t_resolve);
+        (* Losers are definite regardless of how the rest of the pipeline
+           fares: nothing of theirs is ever logged. *)
+        let committed_mutations = committed_payload lsn txns verdicts promises in
+        (* Capture the KCV once, here: stamping [t.kcv] read any later
+           would let a concurrently-running batch observe a KCV its own
+           chain position has not reached. *)
+        let entries = build_log_entries t lsn prev ~kcv:t.kcv committed_mutations in
+        let t_push = Engine.now () in
+        let* all_acked = push_to_logs t entries in
+        Fdb_obs.Registry.observe t.obs_logpush_lat (Engine.now () -. t_push);
+        (* In-order completion stage: wait for the predecessor's fate. *)
+        let* prev_outcome = prev_done in
+        if prev_outcome = Batch_failed || t.dead then begin
+          (* An earlier LSN failed the epoch. Our push may or may not
+             survive the coming recovery: never report or reply success
+             past a failed LSN. *)
+          reply_committed promises verdicts (Message.Reject Error.Commit_unknown_result);
+          finish Batch_failed
+        end
+        else if not all_acked then begin
+          (* Durability unknown: recovery will decide. Fail the epoch. *)
+          reply_committed promises verdicts (Message.Reject Error.Commit_unknown_result);
+          die t "log push failed";
+          finish Batch_failed
+        end
+        else begin
+          if lsn > t.kcv then t.kcv <- lsn;
+          (* Report and await the acknowledgment BEFORE replying (§2.4.1):
+             a client holding our reply may immediately obtain a read
+             version from any proxy, and that version must cover this
+             commit. The chain guarantees reports arrive in LSN order, so
+             Sequencer.committed only ever exposes durable prefixes. *)
+          let* reported =
+            Future.catch
+              (fun () ->
+                let* _ =
+                  Context.rpc t.ctx ~timeout:2.0 ~from:t.proc t.sequencer
+                    (Message.Seq_report { committed = lsn })
+                in
+                Future.return true)
+              (fun _ -> Future.return false)
+          in
+          if not reported then begin
+            (* Durable but unannounced: only a new generation restores the
+               GRV guarantee; clients must treat the outcome as unknown. *)
+            reply_committed promises verdicts (Message.Reject Error.Commit_unknown_result);
+            die t "sequencer unreachable (report)";
+            finish Batch_failed
+          end
+          else begin
+            Trace.emit "proxy_commit_done"
+              [ ("lsn", Int64.to_string lsn); ("kcv", Int64.to_string t.kcv) ];
+            reply_committed promises verdicts (Message.Commit_reply lsn);
+            finish Batch_ok
+          end
+        end
+    | _ ->
+        (* No version, nothing logged: definitely not committed. This batch
+           is a no-op in the chain — its fate is its predecessor's. *)
+        reject_all Error.Database_locked;
+        if t.dead then finish Batch_failed
+        else
+          let* prev_outcome = prev_done in
+          finish prev_outcome
+
+let rec commit_flush_pipelined t =
+  t.commit_flush_scheduled <- false;
+  if Queue.is_empty t.commit_queue then Future.return ()
+  else if t.dead then begin
+    (* Queued requests were never assigned a version: definitely not
+       committed, so a retryable reject is safe. *)
+    Queue.iter
+      (fun (_, p) ->
+        ignore (Future.try_fulfill p (Message.Reject Error.Database_locked) : bool))
+      t.commit_queue;
+    Queue.clear t.commit_queue;
+    Fdb_obs.Registry.set_gauge t.obs_queue_depth 0.0;
+    Future.return ()
+  end
+  else if t.commit_inflight >= max 1 !Params.proxy_commit_pipeline_depth then
+    (* Pipeline full: a completing batch re-runs the flush. *)
+    Future.return ()
+  else begin
+    let batch = dequeue_up_to t.commit_queue !Params.max_commit_batch in
+    Fdb_obs.Registry.set_gauge t.obs_queue_depth
+      (float_of_int (Queue.length t.commit_queue));
+    let version_gate = t.chain_version and prev_done = t.chain_done in
+    let version_fut, version_ready = Future.make () in
+    let done_fut, done_p = Future.make () in
+    t.chain_version <- version_fut;
+    t.chain_done <- done_fut;
+    t.commit_inflight <- t.commit_inflight + 1;
+    Fdb_obs.Registry.set_gauge t.obs_inflight (float_of_int t.commit_inflight);
+    Engine.spawn ~process:t.proc "proxy-commit-batch" (fun () ->
+        let* () =
+          commit_batch_pipelined t ~version_gate ~version_ready ~prev_done ~done_p
+            batch
+        in
+        t.commit_inflight <- t.commit_inflight - 1;
+        Fdb_obs.Registry.set_gauge t.obs_inflight (float_of_int t.commit_inflight);
+        if Queue.is_empty t.commit_queue then Future.return ()
+        else commit_flush_pipelined t);
+    (* Keep launching while the depth and the queue allow. *)
+    if Queue.is_empty t.commit_queue then Future.return ()
+    else commit_flush_pipelined t
+  end
+
+let commit_flush t =
+  if !Params.proxy_commit_pipeline_depth <= 1 then commit_flush_serial t
+  else commit_flush_pipelined t
 
 let schedule_commit_flush t ~now =
   if not t.commit_flush_scheduled then begin
@@ -411,7 +629,7 @@ let handle t (msg : Message.t) : Message.t Future.t =
     | Message.Seq_ping -> Future.return Message.Ok_reply
     | Message.Grv_req ->
         let fut, promise = Future.make () in
-        t.grv_queue <- promise :: t.grv_queue;
+        Queue.push promise t.grv_queue;
         schedule_grv_flush t;
         let t0 = Engine.now () in
         Future.map fut (fun reply ->
@@ -424,9 +642,11 @@ let handle t (msg : Message.t) : Message.t Future.t =
     | Message.Commit_req txn ->
         Fdb_obs.Registry.incr t.obs_attempts;
         let fut, promise = Future.make () in
-        t.commit_queue <- (txn, promise) :: t.commit_queue;
+        Queue.push (txn, promise) t.commit_queue;
+        Fdb_obs.Registry.set_gauge t.obs_queue_depth
+          (float_of_int (Queue.length t.commit_queue));
         schedule_commit_flush t
-          ~now:(List.length t.commit_queue >= !Params.max_commit_batch);
+          ~now:(Queue.length t.commit_queue >= !Params.max_commit_batch);
         let t0 = Engine.now () in
         Future.map fut (fun reply ->
             (match reply with
@@ -455,20 +675,27 @@ let create ctx proc ~epoch ~sequencer ~resolvers ~logs ~ratekeeper ~recovery_ver
       ratekeeper;
       kcv = recovery_version;
       dead = false;
-      grv_queue = [];
+      grv_queue = Queue.create ();
       grv_flush_scheduled = false;
       rate = 1e5;
       tokens = 2000.0;
       last_refill = Engine.now ();
-      commit_queue = [];
+      commit_queue = Queue.create ();
       commit_flush_scheduled = false;
+      commit_inflight = 0;
+      chain_version = Future.return ();
+      chain_done = Future.return Batch_ok;
       obs_grv_lat = Fdb_obs.Registry.histogram reg ~role:Fdb_obs.Registry.Proxy ~process:pid "grv_latency";
       obs_commit_lat = Fdb_obs.Registry.histogram reg ~role:Fdb_obs.Registry.Proxy ~process:pid "commit_latency";
+      obs_resolve_lat = Fdb_obs.Registry.histogram reg ~role:Fdb_obs.Registry.Proxy ~process:pid "commit_resolve_latency";
+      obs_logpush_lat = Fdb_obs.Registry.histogram reg ~role:Fdb_obs.Registry.Proxy ~process:pid "commit_logpush_latency";
       obs_grv_served = Fdb_obs.Registry.counter reg ~role:Fdb_obs.Registry.Proxy ~process:pid "grv_served";
       obs_attempts = Fdb_obs.Registry.counter reg ~role:Fdb_obs.Registry.Proxy ~process:pid "commit_attempts";
       obs_commits = Fdb_obs.Registry.counter reg ~role:Fdb_obs.Registry.Proxy ~process:pid "commits";
       obs_conflicts = Fdb_obs.Registry.counter reg ~role:Fdb_obs.Registry.Proxy ~process:pid "conflicts";
       obs_too_old = Fdb_obs.Registry.counter reg ~role:Fdb_obs.Registry.Proxy ~process:pid "too_old";
+      obs_inflight = Fdb_obs.Registry.gauge reg ~role:Fdb_obs.Registry.Proxy ~process:pid "commit_inflight_batches";
+      obs_queue_depth = Fdb_obs.Registry.gauge reg ~role:Fdb_obs.Registry.Proxy ~process:pid "commit_queue_depth";
     }
   in
   Network.register ctx.Context.net ep proc (handle t);

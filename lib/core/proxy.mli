@@ -9,7 +9,17 @@
     only after {e all} LogServers confirm durability — the paper's
     all-replicas rule that lets recovery use RV = min DV. A proxy that
     cannot complete this pipeline marks itself failed so the Sequencer's
-    monitor ends the epoch. *)
+    monitor ends the epoch.
+
+    Up to [Params.proxy_commit_pipeline_depth] batches are in flight
+    concurrently: each fetches its own [(lsn, prev)] pair (gated so LSNs
+    follow launch order) and resolves/pushes without waiting for its
+    predecessor — the §2.4.1 prev-chaining at Resolvers and LogServers
+    re-orders out-of-order arrivals — while an in-order completion stage
+    keeps [Seq_report]s LSN-ordered, the KCV monotone, and fails every
+    in-flight batch after a failed one (see DESIGN.md "The commit
+    pipeline"). Depth 1 is the serial pre-pipeline path, kept verbatim as
+    the benchmark baseline. *)
 
 type t
 

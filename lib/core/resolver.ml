@@ -23,6 +23,7 @@ type t = {
   obs_too_old : Fdb_obs.Registry.counter;
   obs_entries : Fdb_obs.Registry.gauge;
   obs_check_cost : Fdb_obs.Registry.gauge;
+  obs_parked : Fdb_obs.Registry.gauge;
 }
 
 let last_lsn t = t.last_lsn
@@ -94,6 +95,8 @@ let rec process t lsn prev txns =
   (match Fdb_util.Det_tbl.find_opt t.parked lsn with
   | Some (Message.Resolve_req { rs_lsn; rs_prev; rs_txns; _ }, promise) ->
       Fdb_util.Det_tbl.remove t.parked lsn;
+      Fdb_obs.Registry.set_gauge t.obs_parked
+        (float_of_int (Fdb_util.Det_tbl.length t.parked));
       Engine.spawn ~process:t.proc "resolver-unpark" (fun () ->
           let* reply = process t rs_lsn rs_prev rs_txns in
           ignore (Future.try_fulfill promise reply : bool);
@@ -126,6 +129,10 @@ let handle t (msg : Message.t) : Message.t Future.t =
         | None ->
             let fut, promise = Future.make () in
             Fdb_util.Det_tbl.replace t.parked rs_prev (msg, promise);
+            Fdb_obs.Registry.set_gauge t.obs_parked
+              (float_of_int (Fdb_util.Det_tbl.length t.parked));
+            Trace.emit "resolver_park"
+              [ ("lsn", Int64.to_string rs_lsn); ("prev", Int64.to_string rs_prev) ];
             fut
       end
   | _ -> Future.return (Message.Reject (Error.Internal "resolver: unexpected message"))
@@ -178,6 +185,7 @@ let create ctx proc ~epoch ~range ~start_lsn =
       obs_too_old = Fdb_obs.Registry.counter reg ~role:Fdb_obs.Registry.Resolver ~process:pid "too_old";
       obs_entries = Fdb_obs.Registry.gauge reg ~role:Fdb_obs.Registry.Resolver ~process:pid "history_entries";
       obs_check_cost = Fdb_obs.Registry.gauge reg ~role:Fdb_obs.Registry.Resolver ~process:pid "batch_check_cost";
+      obs_parked = Fdb_obs.Registry.gauge reg ~role:Fdb_obs.Registry.Resolver ~process:pid "parked_batches";
     }
   in
   Network.register ctx.Context.net ep proc (handle t);

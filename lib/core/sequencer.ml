@@ -405,7 +405,14 @@ let handle t (msg : Message.t) : Message.t Future.t =
           Future.return (Message.Seq_version_reply { version = v; prev })
         end
     | Message.Seq_report { committed } ->
+        (* A pipelined proxy keeps several batches in flight and serializes
+           only its *sends*: report RPCs for consecutive LSNs may overlap on
+           the wire, and with several proxies reports interleave arbitrarily.
+           The max-merge makes any in-order-per-proxy delivery safe — each
+           proxy only reports an LSN after all its smaller LSNs are durable,
+           so [t.committed] never exposes a non-durable prefix. *)
         if committed > t.committed then t.committed <- committed;
+        Trace.emit "seq_report" [ ("lsn", Int64.to_string committed) ];
         Future.return Message.Ok_reply
     | _ -> Future.return (Message.Reject (Error.Internal "sequencer: unexpected message"))
 

@@ -16,7 +16,7 @@ let test_double_run_identical () =
             (not (Int64.equal r.Swarm.trace_checksum 0L))
       | Error (a, b) ->
           Alcotest.failf "seed %Ld diverged: %016Lx <> %016Lx" seed a b)
-    [ 7L; 11L; 23L ]
+    [ 7L; 11L; 23L; 31L; 42L; 57L; 88L; 101L ]
 
 let test_distinct_seeds_distinct_streams () =
   let csum seed =

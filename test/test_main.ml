@@ -19,6 +19,7 @@ let () =
       ("tuple", Test_tuple.suite);
       ("client-ryw", Test_client_ryw.suite);
       ("range-pipeline", Test_range_pipeline.suite);
+      ("commit-pipeline", Test_commit_pipeline.suite);
       ("log-server", Test_log_server.suite);
       ("resolver", Test_resolver.suite);
       ("task-bucket", Test_task_bucket.suite);
