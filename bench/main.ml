@@ -4,7 +4,7 @@
    sweeps. See EXPERIMENTS.md for paper-vs-measured discussion. *)
 
 let available =
-  [ "micro"; "conflict"; "range"; "commit"; "fig3"; "fig7"; "fig8"; "fig9"; "fig10"; "ablation" ]
+  [ "micro"; "conflict"; "range"; "commit"; "rebalance"; "fig3"; "fig7"; "fig8"; "fig9"; "fig10"; "ablation" ]
 
 let () =
   let only = ref [] in
@@ -32,6 +32,7 @@ let () =
   if want "conflict" then Conflict.run ~smoke:!smoke ();
   if want "range" then Range_read.run ~smoke:!smoke ();
   if want "commit" then Commit_pipeline.run ~smoke:!smoke ();
+  if want "rebalance" then Rebalance.run ~smoke:!smoke ();
   if want "fig3" then Fig3.run ();
   if want "fig7" then Fig7.run ();
   if want "fig8" then

@@ -9,8 +9,8 @@
 
 open Cmdliner
 
-let run_seed ~buggify ~duration ~trace seed =
-  let report = Fdb_workloads.Swarm.run_one ~buggify ~duration ~seed () in
+let run_seed ~buggify ~duration ~dd_movement ~trace seed =
+  let report = Fdb_workloads.Swarm.run_one ~buggify ~duration ~dd_movement ~seed () in
   Format.printf "%a@." Fdb_workloads.Swarm.pp_report report;
   if trace && report.Fdb_workloads.Swarm.oracle_failures <> [] then
     Fdb_sim.Trace.dump Format.std_formatter ();
@@ -34,19 +34,30 @@ let swarm_cmd =
       value & flag
       & info [ "check-determinism" ]
           ~doc:
-            "Replay every seed twice and fail on trace-checksum divergence \
-             (the paper's nondeterminism detector).")
+            "Replay every seed twice and fail on trace- or shard-checksum \
+             divergence (the paper's nondeterminism detector).")
   in
-  let action seeds start duration no_buggify check_det =
+  let dd_movement =
+    Arg.(
+      value & flag
+      & info [ "dd-movement" ]
+          ~doc:
+            "Enable active data distribution: the rebalancer plus a mover \
+             job firing random shard splits, merges and moves during chaos.")
+  in
+  let action seeds start duration no_buggify check_det dd_movement =
     let buggify = not no_buggify in
     let failures = ref 0 in
     for s = start to start + seeds - 1 do
       let seed = Int64.of_int s in
       if check_det then begin
-        match Fdb_workloads.Swarm.check_determinism ~buggify ~duration ~seed () with
+        match
+          Fdb_workloads.Swarm.check_determinism ~buggify ~duration ~dd_movement ~seed ()
+        with
         | Ok report ->
-            Printf.printf "seed=%Ld csum=%016Lx determinism OK%s\n" seed
+            Printf.printf "seed=%Ld csum=%016Lx shards=%016Lx determinism OK%s\n" seed
               report.Fdb_workloads.Swarm.trace_checksum
+              report.Fdb_workloads.Swarm.shard_checksum
               (if report.Fdb_workloads.Swarm.oracle_failures = [] then ""
                else " (oracle FAIL)");
             if report.Fdb_workloads.Swarm.oracle_failures <> [] then incr failures
@@ -54,14 +65,15 @@ let swarm_cmd =
             Printf.printf "seed=%Ld DETERMINISM FAIL: %016Lx <> %016Lx\n" seed a b;
             incr failures
       end
-      else if not (run_seed ~buggify ~duration ~trace:false seed) then incr failures
+      else if not (run_seed ~buggify ~duration ~dd_movement ~trace:false seed) then
+        incr failures
     done;
     Printf.printf "%d/%d runs passed all oracles.\n" (seeds - !failures) seeds;
     if !failures > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "swarm" ~doc:"Run many randomized fault-injection simulations.")
-    Term.(const action $ seeds $ start $ duration $ no_buggify $ check_det)
+    Term.(const action $ seeds $ start $ duration $ no_buggify $ check_det $ dd_movement)
 
 let run_cmd =
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.") in
@@ -74,13 +86,19 @@ let run_cmd =
   let no_buggify =
     Arg.(value & flag & info [ "no-buggify" ] ~doc:"Disable buggification points.")
   in
-  let action seed duration trace no_buggify =
-    if not (run_seed ~buggify:(not no_buggify) ~duration ~trace (Int64.of_int seed)) then
-      exit 1
+  let dd_movement =
+    Arg.(value & flag & info [ "dd-movement" ] ~doc:"Enable active data distribution.")
+  in
+  let action seed duration trace no_buggify dd_movement =
+    if
+      not
+        (run_seed ~buggify:(not no_buggify) ~duration ~dd_movement ~trace
+           (Int64.of_int seed))
+    then exit 1
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run (or replay) a single seeded simulation.")
-    Term.(const action $ seed $ duration $ trace $ no_buggify)
+    Term.(const action $ seed $ duration $ trace $ no_buggify $ dd_movement)
 
 let status_cmd =
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.") in

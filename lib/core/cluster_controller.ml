@@ -27,6 +27,7 @@ let state_reply t =
       st_logs = t.logs;
       st_recovery_version = t.rv;
       st_recovered = t.recovered;
+      st_dd = t.dd;
     }
 
 (* Ask workers round-robin until one hosts the role. *)

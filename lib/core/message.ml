@@ -74,6 +74,7 @@ type t =
       st_logs : (int * int) list;
       st_recovery_version : Types.version;
       st_recovered : bool;
+      st_dd : int option; (* DataDistributor worker, when recruited *)
     }
   | Seq_ping
   | Seq_pong of {
@@ -168,6 +169,17 @@ type t =
       ss_lag : float;
       ss_busy : float;
     }
+  | Ss_fetch_shard of {
+      fs_from : string;
+      fs_until : string;
+      fs_version : Types.version; (* committed snapshot version to fetch at *)
+      fs_epoch : Types.epoch;
+      fs_sources : int list; (* current team members to fetch from *)
+    }
+  | Ss_fetch_ack of { fa_rows : int; fa_bytes : int }
+  | Ss_split_point of { spl_from : string; spl_until : string }
+  | Ss_split_point_reply of { spl_key : string option }
+      (* median-by-bytes key of the range, when one strictly inside exists *)
 
 let name = function
   | Ok_reply -> "Ok_reply"
@@ -218,5 +230,9 @@ let name = function
   | Rk_rate _ -> "Rk_rate"
   | Ss_stats_req -> "Ss_stats_req"
   | Ss_stats _ -> "Ss_stats"
+  | Ss_fetch_shard _ -> "Ss_fetch_shard"
+  | Ss_fetch_ack _ -> "Ss_fetch_ack"
+  | Ss_split_point _ -> "Ss_split_point"
+  | Ss_split_point_reply _ -> "Ss_split_point_reply"
 
 let pp fmt m = Format.pp_print_string fmt (name m)

@@ -92,6 +92,7 @@ type t =
       st_logs : (int * int) list;
       st_recovery_version : Types.version;
       st_recovered : bool;
+      st_dd : int option;  (** DataDistributor worker, when recruited *)
     }
   | Seq_ping
   | Seq_pong of {
@@ -195,6 +196,20 @@ type t =
       ss_lag : float;  (** seconds behind the log stream *)
       ss_busy : float;  (** CPU queue depth in seconds (read overload) *)
     }
+  (* data distributor <-> storage server *)
+  | Ss_fetch_shard of {
+      fs_from : string;
+      fs_until : string;
+      fs_version : Types.version;
+          (** committed snapshot version to fetch at (the DD's marker-txn
+              commit has already pinned it below the readable horizon) *)
+      fs_epoch : Types.epoch;
+      fs_sources : int list;  (** current team members to fetch from *)
+    }
+  | Ss_fetch_ack of { fa_rows : int; fa_bytes : int }
+  | Ss_split_point of { spl_from : string; spl_until : string }
+  | Ss_split_point_reply of { spl_key : string option }
+      (** median-by-bytes key of the range, when one strictly inside exists *)
 
 val pp : Format.formatter -> t -> unit
 (** Constructor name only (tracing). *)

@@ -47,3 +47,15 @@ let client_range_fanout = ref 4
 let range_rows_per_batch = 256
 let range_bytes_per_req = ref 65_536
 let range_bytes_want_all = 10_000_000
+
+(* Data distribution (paper §2.3.1, §2.5). Movement is off by default so
+   existing deterministic-run checksums are unchanged unless a run opts in;
+   the swarm and the rebalance bench flip it (and tighten the thresholds)
+   explicitly. Thresholds are bytes / bytes-per-second per shard. *)
+let dd_movement_enabled = ref false
+let dd_rebalance_interval = ref 1.0
+let dd_split_bytes = ref 250_000
+let dd_split_bandwidth = ref 1_000_000.0
+let dd_merge_bytes = ref 10_000
+let dd_imbalance_ratio = ref 3.0
+let dd_move_timeout = 30.0 (* abort moves pending longer than this *)

@@ -88,3 +88,29 @@ val range_bytes_per_req : int ref
 
 val range_bytes_want_all : int
 (** Byte budget per round-trip for [`Want_all]/[`Exact] reads. *)
+
+(* {2 Data distribution} *)
+
+val dd_movement_enabled : bool ref
+(** Master switch for active data distribution (splits, merges, moves).
+    Default [false]: runs that do not opt in keep byte-identical schedules
+    and checksums. The swarm mover and the rebalance bench enable it. *)
+
+val dd_rebalance_interval : float ref
+(** How often the DataDistributor evaluates splits/merges/moves. *)
+
+val dd_split_bytes : int ref
+(** Split a shard whose persistent size exceeds this many bytes. *)
+
+val dd_split_bandwidth : float ref
+(** Split a shard whose read+write traffic exceeds this many bytes/s. *)
+
+val dd_merge_bytes : int ref
+(** Merge adjacent same-team shards when both are smaller than this. *)
+
+val dd_imbalance_ratio : float ref
+(** Move a shard off the hottest server when its load exceeds the coldest
+    server's load by this factor. *)
+
+val dd_move_timeout : float
+(** Abort in-flight moves pending longer than this (mover died mid-fetch). *)

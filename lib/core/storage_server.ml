@@ -6,6 +6,12 @@ module Pstore = Fdb_kv.Persistent_store
 
 let version_meta_key = "\xff\xff/ss/version"
 
+(* One marker per range this server fetched as a move destination, persisted
+   above [system_key_space_end] (never served, never clipped by shard
+   filters). Key: prefix ^ lo; value: fetch version (8 bytes) ^ hi. *)
+let movein_prefix = "\xff\xff/ss/movein/"
+let movein_key lo = movein_prefix ^ lo
+
 type t = {
   ctx : Context.t;
   proc : Process.t;
@@ -23,6 +29,18 @@ type t = {
   mutable stale_pulls : int; (* consecutive failed peeks *)
   mutable refreshing : bool; (* single-flight coordinator consultation *)
   mutable alive : bool;
+  mutable incoming : (string * string * Types.version) list;
+      (* ranges fetched as a move destination, with the snapshot version
+         [since] the fetched pstore image embodies. Window events at
+         versions <= since are invisible for these keys, reads below since
+         are Transaction_too_old, and durability passes skip re-applying
+         popped mutations <= since. *)
+  mutable fetches_in_flight : int;
+      (* durability passes pause while > 0: a pop racing the snapshot
+         install could either land stale data after the install or be lost
+         under it; pausing (a fetch lasts well under a durable interval's
+         worth of window growth) removes the interleaving entirely. *)
+  mutable stats_ticks : int;
   (* metrics plane: keyed by the storage id, which is stable across reboots *)
   obs_read_lat : Fdb_obs.Registry.timer;
   obs_reads : Fdb_obs.Registry.counter;
@@ -32,7 +50,14 @@ type t = {
   obs_version : Fdb_obs.Registry.gauge;
   obs_durable : Fdb_obs.Registry.gauge;
   obs_heartbeat : Fdb_obs.Registry.gauge;
+  (* per-shard traffic/size metrics, lazily registered as shards arrive *)
+  shard_read_ctrs : (string, Fdb_obs.Registry.counter) Fdb_util.Det_tbl.t;
+  shard_write_ctrs : (string, Fdb_obs.Registry.counter) Fdb_util.Det_tbl.t;
+  shard_size_gauges : (string, Fdb_obs.Registry.gauge) Fdb_util.Det_tbl.t;
 }
+
+let hex_of_key k =
+  String.concat "" (List.init (String.length k) (fun i -> Printf.sprintf "%02x" (Char.code k.[i])))
 
 let version t = t.version
 let durable_version t = t.durable
@@ -50,8 +75,16 @@ let lag_seconds t =
    serving (or silently missing) data. *)
 let served_shards t = Shard_map.shards_of_storage t.ctx.Context.shard_map t.id
 
+(* Ranges we must *apply mutations for*: everything served plus shards
+   moving here (dual-tagged traffic arrives on our tag from begin_move on,
+   and must be buffered so the post-snapshot suffix is not lost). *)
+let applied_shards t = Shard_map.apply_ranges_of_storage t.ctx.Context.shard_map t.id
+
 let in_shards t key =
   List.exists (fun (lo, hi) -> lo <= key && key < hi) (served_shards t)
+
+let in_applied_shards t key =
+  List.exists (fun (lo, hi) -> lo <= key && key < hi) (applied_shards t)
 
 (* Does this server serve the whole [from, until)? Client sub-reads are
    per-shard fragments, so a single served range must cover it. *)
@@ -65,13 +98,25 @@ let clip_to_shards t ~from ~until =
       let f = if from > lo then from else lo in
       let u = if until < hi then until else hi in
       if f < u then Some (f, u) else None)
-    (served_shards t)
+    (applied_shards t)
+
+(* Snapshot floor for a key inside a fetched range: the pstore image already
+   embodies every mutation <= the floor. *)
+let incoming_floor t key =
+  List.fold_left
+    (fun acc (lo, hi, since) -> if lo <= key && key < hi && since > acc then since else acc)
+    Int64.min_int t.incoming
+
+let incoming_floor_range t ~from ~until =
+  List.fold_left
+    (fun acc (lo, hi, since) -> if lo < until && from < hi && since > acc then since else acc)
+    Int64.min_int t.incoming
 
 (* Value visible at [v] while applying version [v] itself: within one
    commit version, later mutations must observe earlier ones (atomic ops
    stack), so the probe version is the version being applied. *)
 let read_for_apply t v key =
-  match Window.read t.window v key with
+  match Window.read ~floor:(incoming_floor t key) t.window v key with
   | Window.Value value -> Some value
   | Window.Cleared -> None
   | Window.Unknown -> Pstore.get t.pstore key
@@ -86,6 +131,26 @@ let apply_mutation t v (m : Mutation.t) =
       in
       Window.apply t.window v concrete
   | _ -> Window.apply t.window v m
+
+(* ---------- per-shard traffic accounting (DD's rebalancing signal) ---------- *)
+
+let shard_lo t key = fst (Shard_map.shard_range_for_key t.ctx.Context.shard_map key)
+
+let shard_counter t cache stem lo =
+  Fdb_util.Det_tbl.find_or_add cache lo (fun () ->
+      Fdb_obs.Registry.counter t.ctx.Context.metrics ~role:Fdb_obs.Registry.Storage
+        ~process:t.id
+        (Printf.sprintf "%s:%s" stem (hex_of_key lo)))
+
+let note_read_traffic t key bytes =
+  if bytes > 0 then
+    let lo = shard_lo t key in
+    Fdb_obs.Registry.incr ~by:bytes (shard_counter t t.shard_read_ctrs "shard_read_bytes" lo)
+
+let note_write_traffic t key bytes =
+  if bytes > 0 then
+    let lo = shard_lo t key in
+    Fdb_obs.Registry.incr ~by:bytes (shard_counter t t.shard_write_ctrs "shard_write_bytes" lo)
 
 let wake_waiters t =
   let ready, waiting = List.partition (fun (v, _) -> v <= t.version) t.waiters in
@@ -117,13 +182,20 @@ let apply_entries t ~as_of_epoch entries end_v kcv =
           List.iter
             (fun m ->
               let lo, hi = Mutation.key_range m in
-              (* Only apply the parts of the mutation we serve. *)
+              (* Only apply the parts of the mutation we serve or are
+                 receiving as a move destination. *)
               match m with
               | Mutation.Clear_range _ ->
                   List.iter
-                    (fun (f, u) -> apply_mutation t v (Mutation.Clear_range (f, u)))
+                    (fun (f, u) ->
+                      apply_mutation t v (Mutation.Clear_range (f, u));
+                      note_write_traffic t f (Mutation.byte_size m))
                     (clip_to_shards t ~from:lo ~until:hi)
-              | _ -> if in_shards t lo then apply_mutation t v m)
+              | _ ->
+                  if in_applied_shards t lo then begin
+                    apply_mutation t v m;
+                    note_write_traffic t lo (Mutation.byte_size m)
+                  end)
             muts;
           if v > t.version then t.version <- v;
           go rest
@@ -264,17 +336,60 @@ let publish_stats t =
   Fdb_obs.Registry.set_gauge t.obs_durable (Int64.to_float t.durable);
   Fdb_obs.Registry.set_gauge t.obs_heartbeat (Engine.now ())
 
+(* Per-shard persistent size: a pstore range scan, so only refreshed every
+   8th stats tick (~2 s) — cheap enough, fresh enough for DD split/merge
+   decisions. *)
+let publish_shard_sizes t =
+  List.iter
+    (fun (lo, hi) ->
+      let bytes =
+        List.fold_left
+          (fun a (k, v) -> a + String.length k + String.length v)
+          0
+          (Pstore.get_range t.pstore ~from:lo ~until:hi ())
+      in
+      let g =
+        Fdb_util.Det_tbl.find_or_add t.shard_size_gauges lo (fun () ->
+            Fdb_obs.Registry.gauge t.ctx.Context.metrics ~role:Fdb_obs.Registry.Storage
+              ~process:t.id
+              (Printf.sprintf "shard_size_bytes:%s" (hex_of_key lo)))
+      in
+      Fdb_obs.Registry.set_gauge g (float_of_int bytes))
+    (served_shards t)
+
 let stats_loop t =
   let rec loop () =
     if not t.alive then Future.return ()
     else
       let* () = Engine.sleep Params.heartbeat_interval in
       publish_stats t;
+      t.stats_ticks <- t.stats_ticks + 1;
+      if t.stats_ticks mod 8 = 0 then publish_shard_sizes t;
       loop ()
   in
   loop ()
 
 (* ---------- durability (§2.4.3: delayed, coalesced persistence) ---------- *)
+
+(* Subtract [lo, hi) from a segment, yielding the surviving pieces. *)
+let subtract_range (f, u) (lo, hi) =
+  if hi <= f || u <= lo then [ (f, u) ]
+  else (if f < lo then [ (f, lo) ] else []) @ if u > hi then [ (hi, u) ] else []
+
+(* A popped mutation at a version already embodied in a fetched snapshot
+   must not be re-applied to the pstore: it could be a *stale* value (the
+   snapshot was taken later) and would corrupt the fetched image. *)
+let durable_filter t (v, (m : Mutation.t)) =
+  match m with
+  | Mutation.Set (k, _) | Mutation.Clear k -> if v <= incoming_floor t k then [] else [ m ]
+  | Mutation.Clear_range (a, b) ->
+      List.fold_left
+        (fun segs (lo, hi, since) ->
+          if since < v then segs
+          else List.concat_map (fun seg -> subtract_range seg (lo, hi)) segs)
+        [ (a, b) ] t.incoming
+      |> List.map (fun (f, u) -> Mutation.Clear_range (f, u))
+  | Mutation.Atomic _ -> [ m ]
 
 let make_durable t =
   let window_versions =
@@ -283,10 +398,20 @@ let make_durable t =
   let target =
     min t.kcv (Int64.sub t.version window_versions)
   in
-  if target > t.durable then begin
-    let muts = Window.pop_through t.window target in
+  if t.fetches_in_flight > 0 then Future.return ()
+  else if target > t.durable then begin
+    let muts =
+      List.concat_map (durable_filter t) (Window.pop_through_versioned t.window target)
+    in
+    (* Snapshot floors at or below the new durable horizon are spent: every
+       stale window event has been popped (and filtered) above, and reads
+       below them are already rejected by the Window.oldest gate. Drop the
+       persisted markers along with the in-memory entries. *)
+    let retired, keep = List.partition (fun (_, _, since) -> since <= target) t.incoming in
+    t.incoming <- keep;
+    let clears = List.map (fun (lo, _, _) -> Mutation.Clear (movein_key lo)) retired in
     let marker = Mutation.Set (version_meta_key, Types.version_to_bytes target) in
-    let* () = Pstore.apply t.pstore (muts @ [ marker ]) in
+    let* () = Pstore.apply t.pstore (muts @ clears @ [ marker ]) in
     let* () = Pstore.commit t.pstore in
     t.durable <- target;
     (* Tell the logs this data no longer needs them. *)
@@ -322,7 +447,7 @@ let wait_for_version t v =
   end
 
 let read_at t version key =
-  match Window.read t.window version key with
+  match Window.read ~floor:(incoming_floor t key) t.window version key with
   | Window.Value v -> Some v
   | Window.Cleared -> None
   | Window.Unknown -> Pstore.get t.pstore key
@@ -435,6 +560,115 @@ let ensure_epoch t rv_epoch =
 let overloaded t =
   t.proc.Process.cpu_busy_until -. Engine.now () > Params.client_read_timeout
 
+(* ---------- shard movement: destination-side fetch (§2.5) ---------- *)
+
+(* Drain a committed snapshot of [from, until) at [version] from the current
+   team, install it in the pstore under a [movein] floor, and ack. The DD
+   has already begun the move, so our own tLog tag carries every mutation
+   above [version] for the range — the floor makes window entries at or
+   below it invisible (the snapshot embodies them) and the durable path
+   skips re-applying them. *)
+let fetch_shard t ~from ~until ~version ~epoch ~sources =
+  let srcs = Array.of_list (List.filter (fun ss -> ss <> t.id) sources) in
+  if Array.length srcs = 0 then
+    Future.return (Message.Reject (Error.Internal "fetch: no source replica"))
+  else if t.durable > version then
+    (* Our durable horizon already passed the snapshot version: data above
+       it is in the pstore and would be wiped by the install. *)
+    Future.return (Message.Reject (Error.Internal "fetch: snapshot below durable horizon"))
+  else begin
+    t.fetches_in_flight <- t.fetches_in_flight + 1;
+    Future.protect
+      ~finally:(fun () -> t.fetches_in_flight <- t.fetches_in_flight - 1)
+      (fun () ->
+        let rec drain attempt cursor acc rows bytes =
+          if attempt > 3 * Array.length srcs then Future.return None
+          else begin
+            let src = srcs.(attempt mod Array.length srcs) in
+            let retry () =
+              let* () = Engine.sleep 0.2 in
+              drain (attempt + 1) cursor acc rows bytes
+            in
+            Future.catch
+              (fun () ->
+                let* reply =
+                  Context.rpc t.ctx ~timeout:2.0 ~from:t.proc
+                    t.ctx.Context.storage_eps.(src)
+                    (Message.Storage_get_range
+                       {
+                         gr_from = cursor;
+                         gr_until = until;
+                         gr_version = version;
+                         gr_limit = max_int;
+                         gr_byte_limit = Params.range_bytes_want_all;
+                         gr_reverse = false;
+                         gr_epoch = epoch;
+                       })
+                in
+                match reply with
+                | Message.Storage_get_range_reply { rr_rows; rr_more } ->
+                    let bytes =
+                      List.fold_left
+                        (fun a (k, v) -> a + String.length k + String.length v)
+                        bytes rr_rows
+                    in
+                    let rows = rows + List.length rr_rows in
+                    if rr_more && rr_rows <> [] then
+                      let last = fst (List.nth rr_rows (List.length rr_rows - 1)) in
+                      drain attempt (Types.next_key last) (rr_rows :: acc) rows bytes
+                    else Future.return (Some (List.concat (List.rev (rr_rows :: acc)), rows, bytes))
+                | _ -> retry ())
+              (fun _ -> retry ())
+          end
+        in
+        let* fetched = drain 0 from [] 0 0 in
+        match fetched with
+        | None -> Future.return (Message.Reject (Error.Internal "fetch: no source answered"))
+        | Some (kvs, rows, bytes) ->
+            let* () =
+              Engine.cpu t.proc
+                (Params.cpu (Params.storage_per_apply_byte *. float_of_int bytes))
+            in
+            if t.durable > version then
+              Future.return
+                (Message.Reject (Error.Internal "fetch: snapshot below durable horizon"))
+            else begin
+              (* Floor registration and the pstore install are synchronous
+                 with each other (no yield between them), so no durability
+                 pass can interleave a pop. *)
+              t.incoming <-
+                (from, until, version)
+                :: List.filter (fun (lo, hi, _) -> not (lo = from && hi = until)) t.incoming;
+              let muts =
+                (Mutation.Clear_range (from, until)
+                :: List.map (fun (k, v) -> Mutation.Set (k, v)) kvs)
+                @ [ Mutation.Set (movein_key from, Types.version_to_bytes version ^ until) ]
+              in
+              let* () = Pstore.apply t.pstore muts in
+              let* () = Pstore.commit t.pstore in
+              Trace.emit "ss_shard_fetched"
+                [ ("ss", string_of_int t.id); ("lo", String.escaped from);
+                  ("rows", string_of_int rows);
+                  ("since", Int64.to_string version) ];
+              Future.return (Message.Ss_fetch_ack { fa_rows = rows; fa_bytes = bytes })
+            end)
+  end
+
+(* Median-by-bytes key of a range (DD's organic split point). *)
+let split_point t ~from ~until =
+  let rows = Pstore.get_range t.pstore ~from ~until () in
+  let total = List.fold_left (fun a (k, v) -> a + String.length k + String.length v) 0 rows in
+  let acc = ref 0 and found = ref None in
+  if total > 0 then
+    List.iter
+      (fun (k, v) ->
+        if !found = None then begin
+          if !acc * 2 >= total && k > from then found := Some k;
+          acc := !acc + String.length k + String.length v
+        end)
+      rows;
+  match !found with Some k when k > from && k < until -> Some k | _ -> None
+
 let handle t (msg : Message.t) : Message.t Future.t =
   match msg with
   | Message.Seq_ping -> Future.return Message.Ok_reply
@@ -457,10 +691,17 @@ let handle t (msg : Message.t) : Message.t Future.t =
       end
       else if not (in_shards t key) then
         Future.return (Message.Reject Error.Wrong_shard)
+      else if version < incoming_floor t key then
+        (* The key arrived here by shard movement and the fetched snapshot
+           cannot reconstruct state below its version: retryable. *)
+        Future.return (Message.Reject Error.Transaction_too_old)
       else begin
         Fdb_obs.Registry.incr t.obs_reads;
         Fdb_obs.Registry.observe t.obs_read_lat (Engine.now () -. t0);
-        Future.return (Message.Storage_get_reply (read_at t version key))
+        let value = read_at t version key in
+        note_read_traffic t key
+          (String.length key + match value with Some v -> String.length v | None -> 0);
+        Future.return (Message.Storage_get_reply value)
       end
   | Message.Storage_get_range
       { gr_from; gr_until; gr_version; gr_limit; gr_byte_limit; gr_reverse; gr_epoch } ->
@@ -478,6 +719,8 @@ let handle t (msg : Message.t) : Message.t Future.t =
         Future.return (Message.Reject Error.Transaction_too_old)
       else if not (covers t ~from:gr_from ~until:gr_until) then
         Future.return (Message.Reject Error.Wrong_shard)
+      else if gr_version < incoming_floor_range t ~from:gr_from ~until:gr_until then
+        Future.return (Message.Reject Error.Transaction_too_old)
       else begin
         let results, more =
           if gr_reverse then
@@ -493,6 +736,8 @@ let handle t (msg : Message.t) : Message.t Future.t =
                (Params.storage_per_point_read
                +. (Params.storage_per_range_key *. float_of_int (List.length results))))
         in
+        note_read_traffic t gr_from
+          (List.fold_left (fun a (k, v) -> a + String.length k + String.length v) 0 results);
         Future.return (Message.Storage_get_range_reply { rr_rows = results; rr_more = more })
       end
   | Message.Storage_get_key
@@ -512,6 +757,8 @@ let handle t (msg : Message.t) : Message.t Future.t =
         Future.return (Message.Reject Error.Transaction_too_old)
       else if not (covers t ~from:gk_from ~until:gk_until) then
         Future.return (Message.Reject Error.Wrong_shard)
+      else if gk_version < incoming_floor_range t ~from:gk_from ~until:gk_until then
+        Future.return (Message.Reject Error.Transaction_too_old)
       else begin
         let need = max 1 gk_need in
         let rows, _ =
@@ -550,6 +797,17 @@ let handle t (msg : Message.t) : Message.t Future.t =
              ss_lag = lag_seconds t;
              ss_busy = (if busy > 0.0 then busy else 0.0);
            })
+  | Message.Ss_fetch_shard { fs_from; fs_until; fs_version; fs_epoch; fs_sources } ->
+      (* Buggify: an occasionally failing fetch exercises the DD's
+         abort-and-retry path under simulation. *)
+      if Buggify.on ~p:0.05 "dd_fetch_abort" then
+        Future.return (Message.Reject (Error.Internal "buggified fetch abort"))
+      else
+        fetch_shard t ~from:fs_from ~until:fs_until ~version:fs_version ~epoch:fs_epoch
+          ~sources:fs_sources
+  | Message.Ss_split_point { spl_from; spl_until } ->
+      let* () = Engine.cpu t.proc (Params.cpu Params.storage_per_point_read) in
+      Future.return (Message.Ss_split_point_reply { spl_key = split_point t ~from:spl_from ~until:spl_until })
   | _ -> Future.return (Message.Reject (Error.Internal "storage: unexpected message"))
 
 let rec create ctx proc ~id ~disk =
@@ -558,6 +816,21 @@ let rec create ctx proc ~id ~disk =
     match Pstore.get pstore version_meta_key with
     | Some bytes -> Types.version_of_bytes bytes
     | None -> 0L
+  in
+  (* Reload snapshot floors for ranges fetched as a move destination: after
+     a reboot the log replays from the durable version, which may sit below
+     a fetched snapshot — replayed mutations at or below the floor must stay
+     invisible/unapplied exactly as before the crash. *)
+  let incoming =
+    Pstore.get_range pstore ~from:movein_prefix ~until:(Types.strinc movein_prefix) ()
+    |> List.filter_map (fun (k, v) ->
+           if String.length v < 8 then None
+           else begin
+             let lo = String.sub k (String.length movein_prefix) (String.length k - String.length movein_prefix) in
+             let since = Types.version_of_bytes (String.sub v 0 8) in
+             let hi = String.sub v 8 (String.length v - 8) in
+             Some (lo, hi, since)
+           end)
   in
   let t =
     {
@@ -577,6 +850,9 @@ let rec create ctx proc ~id ~disk =
       stale_pulls = 0;
       refreshing = false;
       alive = true;
+      incoming;
+      fetches_in_flight = 0;
+      stats_ticks = 0;
       obs_read_lat =
         Fdb_obs.Registry.histogram ctx.Context.metrics ~role:Fdb_obs.Registry.Storage
           ~process:id "read_latency";
@@ -601,6 +877,9 @@ let rec create ctx proc ~id ~disk =
       obs_heartbeat =
         Fdb_obs.Registry.gauge ctx.Context.metrics ~role:Fdb_obs.Registry.Storage
           ~process:id "heartbeat";
+      shard_read_ctrs = Fdb_util.Det_tbl.create ~size:32 ();
+      shard_write_ctrs = Fdb_util.Det_tbl.create ~size:32 ();
+      shard_size_gauges = Fdb_util.Det_tbl.create ~size:32 ();
     }
   in
   publish_stats t;

@@ -52,22 +52,27 @@ let apply t version (m : Mutation.t) =
   t.latest <- version;
   t.events <- t.events + 1
 
-let newest_key_event t version key =
+let newest_key_event t ~floor version key =
   match KeyMap.find_opt key t.per_key with
   | None -> None
-  | Some events -> List.find_opt (fun e -> e.ev <= version) events
+  | Some events -> List.find_opt (fun e -> e.ev <= version && e.ev > floor) events
 
-let newest_tombstone t version key =
+let newest_tombstone t ~floor version key =
   List.fold_left
     (fun acc (v, sq, a, b) ->
-      if v <= version && a <= key && key < b then
+      if v <= version && v > floor && a <= key && key < b then
         match acc with Some (v', sq') when (v', sq') >= (v, sq) -> acc | _ -> Some (v, sq)
       else acc)
     None t.tombstones
 
-let read t version key =
-  let key_ev = newest_key_event t version key in
-  let tomb = newest_tombstone t version key in
+(* [floor]: events at versions <= floor are treated as nonexistent. A server
+   that re-fetched a range as a move destination holds a pstore snapshot that
+   already embodies every mutation <= the fetch version; stale window entries
+   from before the fetch (earlier dual-tag traffic, or a previous era of
+   owning the range) must not shadow it. *)
+let read ?(floor = Int64.min_int) t version key =
+  let key_ev = newest_key_event t ~floor version key in
+  let tomb = newest_tombstone t ~floor version key in
   match (key_ev, tomb) with
   | None, None -> Unknown
   | Some { set; _ }, None -> ( match set with Some v -> Value v | None -> Cleared)
@@ -81,8 +86,10 @@ let keys_in_range t ~from ~until =
   |> Seq.take_while (fun (k, _) -> k < until)
   |> Seq.map fst |> List.of_seq
 
-let cleared_ranges_at t version =
-  List.filter_map (fun (v, _, a, b) -> if v <= version then Some (a, b) else None) t.tombstones
+let cleared_ranges_at ?(floor = Int64.min_int) t version =
+  List.filter_map
+    (fun (v, _, a, b) -> if v <= version && v > floor then Some (a, b) else None)
+    t.tombstones
 
 (* Remove index entries for a mutation that is leaving the window. Events
    with version <= bound form the oldest suffix of each newest-first list. *)
@@ -104,14 +111,14 @@ let unindex t bound (m : Mutation.t) =
       t.tombstones <- List.filter (fun (v, _, _, _) -> v > bound) t.tombstones
   | Mutation.Atomic _ -> ()
 
-let pop_through t bound =
+let pop_through_versioned t bound =
   let rec take acc =
     match t.log_front with
-    | (v, m) :: rest when v <= bound ->
+    | ((v, m) as entry) :: rest when v <= bound ->
         t.log_front <- rest;
         t.events <- t.events - 1;
         unindex t bound m;
-        take (m :: acc)
+        take (entry :: acc)
     | [] when t.log_rear <> [] ->
         t.log_front <- List.rev t.log_rear;
         t.log_rear <- [];
@@ -121,6 +128,8 @@ let pop_through t bound =
   let popped = take [] in
   if bound > t.oldest then t.oldest <- bound;
   popped
+
+let pop_through t bound = List.map snd (pop_through_versioned t bound)
 
 let rollback t ~after =
   let keep (v, _) = v <= after in

@@ -21,20 +21,27 @@ val apply : t -> int64 -> Mutation.t -> unit
 (** Record a mutation at a commit version. Versions must be non-decreasing;
     [Atomic] mutations are rejected with [Invalid_argument]. *)
 
-val read : t -> int64 -> string -> read_result
+val read : ?floor:int64 -> t -> int64 -> string -> read_result
 (** Visible state of a key at a version, considering newer-wins ordering of
-    per-key events and covering range clears. *)
+    per-key events and covering range clears. Events at versions <= [floor]
+    (default: none) are treated as nonexistent — used by a move destination
+    whose persistent snapshot of the range already embodies them. *)
 
 val keys_in_range : t -> from:string -> until:string -> string list
 (** Keys with any window event in [\[from, until)], ascending. *)
 
-val cleared_ranges_at : t -> int64 -> (string * string) list
-(** Range clears visible at the version (to mask persistent-store keys). *)
+val cleared_ranges_at : ?floor:int64 -> t -> int64 -> (string * string) list
+(** Range clears visible at the version (to mask persistent-store keys),
+    excluding those at versions <= [floor]. *)
 
 val pop_through : t -> int64 -> Mutation.t list
 (** Remove and return the chronological prefix of mutations with version <=
     the argument, in application order — the batch that graduates to the
     persistent store when it leaves the MVCC window. *)
+
+val pop_through_versioned : t -> int64 -> (int64 * Mutation.t) list
+(** Like {!pop_through} but keeps each mutation's commit version, so the
+    caller can skip mutations already embodied in a re-fetched snapshot. *)
 
 val rollback : t -> after:int64 -> int
 (** Discard all events with version > [after] (recovery §2.4.4); returns

@@ -12,7 +12,18 @@
 module Histogram = Fdb_util.Histogram
 module Det_tbl = Fdb_util.Det_tbl
 
-type role = Proxy | Resolver | Log | Storage | Ratekeeper | Sequencer | Client
+(* [Data_distributor] is appended after [Client] so the polymorphic-compare
+   key order of every pre-existing role (and thus serialized dumps of runs
+   that never recruit a DD metric) is unchanged. *)
+type role =
+  | Proxy
+  | Resolver
+  | Log
+  | Storage
+  | Ratekeeper
+  | Sequencer
+  | Client
+  | Data_distributor
 
 let role_name = function
   | Proxy -> "proxy"
@@ -22,8 +33,10 @@ let role_name = function
   | Ratekeeper -> "ratekeeper"
   | Sequencer -> "sequencer"
   | Client -> "client"
+  | Data_distributor -> "data_distributor"
 
-let all_roles = [ Proxy; Resolver; Log; Storage; Ratekeeper; Sequencer; Client ]
+let all_roles =
+  [ Proxy; Resolver; Log; Storage; Ratekeeper; Sequencer; Client; Data_distributor ]
 
 (* Field order matters: polymorphic compare on [key] orders by role (in
    constructor-declaration order, which matches [all_roles]), then process,

@@ -47,32 +47,44 @@ let check cluster =
   let proc = Process.create ~name:"consistency-check" machine in
   Future.catch
     (fun () ->
-      let* version, epoch = Client.run db (fun tx -> Client.read_snapshot tx) in
-      let shards = Shard_map.ranges ctx.Context.shard_map in
-      let teams = Shard_map.tag_teams ctx.Context.shard_map in
-      let rec walk i =
-        if i >= Array.length shards then Future.return (Ok ())
+      (* Walk the keyspace by cursor, re-resolving shard range and team
+         against the live map at every step: a split, merge or move landing
+         mid-walk changes shard indices, so a snapshot of the boundary
+         arrays would go stale. Each shard gets a fresh read snapshot too —
+         a destination that just finished a fetch rejects reads below its
+         snapshot floor, and an old version would stall the walk. *)
+      let rec walk cursor =
+        if cursor >= Types.key_space_end then Future.return (Ok ())
         else begin
-          let from, until = shards.(i) in
-          (* Stay inside the user key space: system shards hold SS-local
-             metadata that is not replicated content. *)
-          let until = min until Types.key_space_end in
-          if from >= until then walk (i + 1)
-          else begin
+          let rec try_shard attempts =
+            let _, until = Shard_map.shard_range_for_key ctx.Context.shard_map cursor in
+            (* Stay inside the user key space: system shards hold SS-local
+               metadata that is not replicated content. *)
+            let until = min until Types.key_space_end in
+            let team = Shard_map.team_for_key ctx.Context.shard_map cursor in
+            let* version, epoch = Client.run db (fun tx -> Client.read_snapshot tx) in
             let* replicas =
               Future.all
                 (List.map
                    (fun ss ->
                      let* rows =
-                       read_replica ctx proc ~ep:ctx.Context.storage_eps.(ss) ~from
-                         ~until ~version ~epoch
+                       read_replica ctx proc ~ep:ctx.Context.storage_eps.(ss)
+                         ~from:cursor ~until ~version ~epoch
                      in
                      Future.return (ss, rows))
-                   teams.(i))
+                   team)
             in
             let readable = List.filter_map (fun (ss, r) -> Option.map (fun x -> (ss, x)) r) replicas in
             match readable with
-            | [] -> Future.return (Error (Printf.sprintf "shard %d: no readable replica" i))
+            | [] ->
+                (* The team may have just changed under us (cutover between
+                   resolving it and reading): re-resolve and retry. *)
+                if attempts <= 1 then
+                  Future.return
+                    (Error (Printf.sprintf "shard [%S,%S): no readable replica" cursor until))
+                else
+                  let* () = Engine.sleep 1.0 in
+                  try_shard (attempts - 1)
             | (ss0, rows0) :: rest ->
                 let mismatch =
                   List.find_opt (fun (_, rows) -> rows <> rows0) rest
@@ -101,11 +113,16 @@ let check cluster =
                     in
                     Future.return
                       (Error
-                         (Printf.sprintf "shard %d: replica %d disagrees with replica %d [%s]"
-                            i ss1 ss0 head))
-                | None -> walk (i + 1))
-          end
+                         (Printf.sprintf
+                            "shard [%S,%S): replica %d disagrees with replica %d [%s]"
+                            cursor until ss1 ss0 head))
+                | None -> Future.return (Ok until))
+          in
+          let* r = try_shard 8 in
+          match r with
+          | Ok next -> walk next
+          | Error e -> Future.return (Error e)
         end
       in
-      walk 0)
+      walk "")
     (fun e -> Future.return (Error ("consistency check failed: " ^ Printexc.to_string e)))

@@ -5,6 +5,65 @@ module Rng = Fdb_util.Det_rng
 
 type stats = { committed : int; aborted : int; probed_unknown : int }
 
+(* Skewed key generators for load-distribution workloads. Each draws a
+   *rank* in [0, n): rank 0 is the hottest key, so mapping ranks straight
+   into a dense keyspace concentrates traffic at its low end — exactly the
+   hot-shard shape the data distributor has to split and spread. *)
+module Keygen = struct
+  type t =
+    | Zipfian of { n : int; cdf : float array }
+    | Hot of { n : int; hot_n : int; hot_prob : float }
+    | Sequential of { mutable seq_next : int }
+
+  (* Zipf(theta): P(rank i) proportional to 1/(i+1)^theta. The CDF is
+     precomputed once; each draw is a binary search, so even n in the
+     millions costs O(log n) per key. *)
+  let zipfian ~n ~theta =
+    if n <= 0 then invalid_arg "Keygen.zipfian: n must be positive";
+    let cdf = Array.make n 0.0 in
+    let total = ref 0.0 in
+    for i = 0 to n - 1 do
+      total := !total +. (1.0 /. Float.pow (float_of_int (i + 1)) theta);
+      cdf.(i) <- !total
+    done;
+    let t = !total in
+    Array.iteri (fun i x -> cdf.(i) <- x /. t) cdf;
+    Zipfian { n; cdf }
+
+  (* A fraction of the keyspace ([hot] ranks) absorbs [hot_prob] of the
+     draws; the rest is uniform over the cold remainder. *)
+  let hot_key ~n ~hot ~hot_prob =
+    if n <= 0 then invalid_arg "Keygen.hot_key: n must be positive";
+    let hot_n = max 1 (min hot n) in
+    Hot { n; hot_n; hot_prob }
+
+  (* Monotone append pattern (log-structured inserts): every draw is the
+     next unused rank, so fresh writes always land on the tail shard. *)
+  let sequential ?(start = 0) () = Sequential { seq_next = start }
+
+  let next_rank t rng =
+    match t with
+    | Zipfian { n; cdf } ->
+        let u = Rng.float rng 1.0 in
+        (* smallest i with cdf.(i) >= u *)
+        let lo = ref 0 and hi = ref (n - 1) in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if cdf.(mid) >= u then hi := mid else lo := mid + 1
+        done;
+        !lo
+    | Hot { n; hot_n; hot_prob } ->
+        if hot_n >= n || Rng.float rng 1.0 < hot_prob then Rng.int rng hot_n
+        else hot_n + Rng.int rng (n - hot_n)
+    | Sequential s ->
+        let r = s.seq_next in
+        s.seq_next <- r + 1;
+        r
+
+  let next_key ?(prefix = "key/") t rng =
+    Printf.sprintf "%s%09d" prefix (next_rank t rng)
+end
+
 let data_key i = Printf.sprintf "soup/%04d" i
 let marker_key client n = Printf.sprintf "soup-mark/%d/%06d" client n
 

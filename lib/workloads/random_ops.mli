@@ -9,6 +9,31 @@
 
 type stats = { committed : int; aborted : int; probed_unknown : int }
 
+(** Skewed key generators for load-distribution workloads. Each generator
+    draws a {e rank} in [\[0, n)]; rank 0 is the hottest key, so mapping
+    ranks into a dense keyspace concentrates traffic at its low end — the
+    hot-shard shape the data distributor must split and spread. *)
+module Keygen : sig
+  type t
+
+  val zipfian : n:int -> theta:float -> t
+  (** Zipf(theta) over [n] ranks: P(rank i) proportional to
+      [1/(i+1)^theta]. O(n) setup, O(log n) per draw. *)
+
+  val hot_key : n:int -> hot:int -> hot_prob:float -> t
+  (** The first [hot] ranks absorb [hot_prob] of the draws; the remainder
+      is uniform over the cold ranks. *)
+
+  val sequential : ?start:int -> unit -> t
+  (** Monotone append pattern: each draw returns the next unused rank
+      (stateful; ignores the rng). *)
+
+  val next_rank : t -> Fdb_util.Det_rng.t -> int
+  val next_key : ?prefix:string -> t -> Fdb_util.Det_rng.t -> string
+  (** [next_key ~prefix t rng] = [prefix ^ zero-padded rank] — zero-padding
+      keeps lexicographic order equal to numeric order. *)
+end
+
 val run_clients :
   Fdb_core.Cluster.t ->
   clients:int ->

@@ -32,6 +32,10 @@ type t = {
   st_grv_p99 : float;
   st_commit_p50 : float;
   st_commit_p99 : float;
+  (* data-distribution plane, from the DD's registry gauges *)
+  st_dd_recruited : bool;
+  st_unhealthy_teams : int;
+  st_data_loss_risk : bool;
 }
 
 (* A storage server whose heartbeat gauge is older than this is counted as
@@ -65,8 +69,11 @@ let gather cluster =
                 Message.Cc_get_state
             in
             (match reply with
-            | Message.Cc_state { st_epoch; st_proxies; st_logs; st_recovered; _ } ->
-                Future.return (Some (st_epoch, List.length st_proxies, List.length st_logs, st_recovered))
+            | Message.Cc_state { st_epoch; st_proxies; st_logs; st_recovered; st_dd; _ } ->
+                Future.return
+                  (Some
+                     ( st_epoch, List.length st_proxies, List.length st_logs, st_recovered,
+                       st_dd <> None ))
             | _ -> Future.return None)
         | _ -> Future.return None)
       (fun _ -> Future.return None)
@@ -92,8 +99,13 @@ let gather cluster =
     List.fold_left (fun a (_, r) -> Float.max a r)
       0.0 (Registry.gauges reg ~role:Registry.Ratekeeper "rate")
   in
-  let epoch, proxies, logs, recovered =
-    match cc_state with Some s -> s | None -> (0, 0, 0, false)
+  let epoch, proxies, logs, recovered, dd_recruited =
+    match cc_state with Some s -> s | None -> (0, 0, 0, false, false)
+  in
+  (* Data-distribution plane: the DD publishes team health as gauges. *)
+  let dd_gauge name =
+    Option.value ~default:0.0
+      (Registry.gauge_value reg ~role:Registry.Data_distributor ~process:0 name)
   in
   Future.return
     {
@@ -114,6 +126,9 @@ let gather cluster =
       st_grv_p99 = Histogram.percentile grv_h 99.0;
       st_commit_p50 = Histogram.percentile commit_h 50.0;
       st_commit_p99 = Histogram.percentile commit_h 99.0;
+      st_dd_recruited = dd_recruited;
+      st_unhealthy_teams = int_of_float (dd_gauge "unhealthy_teams");
+      st_data_loss_risk = dd_gauge "data_loss_risk" > 0.0;
     }
 
 let pp fmt t =
@@ -126,7 +141,8 @@ let pp fmt t =
      workload            : %d grv, %d/%d commits (%d conflicts)@,\
      rate budget         : %.0f tps@,\
      grv latency         : p50 %.2f ms, p99 %.2f ms@,\
-     commit latency      : p50 %.2f ms, p99 %.2f ms@]"
+     commit latency      : p50 %.2f ms, p99 %.2f ms@,\
+     data distribution   : %s, %d unhealthy teams%s@]"
     t.st_epoch
     (if t.st_recovered then "available" else "recovering")
     t.st_proxies t.st_logs t.st_storage_responsive t.st_storage_total
@@ -135,6 +151,9 @@ let pp fmt t =
     t.st_rate
     (t.st_grv_p50 *. 1e3) (t.st_grv_p99 *. 1e3)
     (t.st_commit_p50 *. 1e3) (t.st_commit_p99 *. 1e3)
+    (if t.st_dd_recruited then "recruited" else "not recruited")
+    t.st_unhealthy_teams
+    (if t.st_data_loss_risk then " (DATA LOSS RISK)" else "")
 
 (* Machine-readable status document: the cluster summary plus the full
    per-role rollup. Deterministic: sorted keys, canonical float rendering —
@@ -146,7 +165,8 @@ let to_json t (doc : Fdb_obs.Rollup.doc) =
      \"storage_responsive\":%d,\"storage_total\":%d,\"max_lag_ms\":%s,\
      \"max_window_events\":%d,\"grv_served\":%d,\"commit_attempts\":%d,\
      \"commits\":%d,\"conflicts\":%d,\"rate_tps\":%s,\
-     \"grv_p50_ms\":%s,\"grv_p99_ms\":%s,\"commit_p50_ms\":%s,\"commit_p99_ms\":%s},\
+     \"grv_p50_ms\":%s,\"grv_p99_ms\":%s,\"commit_p50_ms\":%s,\"commit_p99_ms\":%s,\
+     \"dd_recruited\":%b,\"unhealthy_teams\":%d,\"data_loss_risk\":%b},\
      \"metrics\":%s}"
     t.st_epoch t.st_recovered t.st_proxies t.st_logs t.st_storage_responsive
     t.st_storage_total
@@ -157,4 +177,5 @@ let to_json t (doc : Fdb_obs.Rollup.doc) =
     (f (t.st_grv_p99 *. 1e3))
     (f (t.st_commit_p50 *. 1e3))
     (f (t.st_commit_p99 *. 1e3))
+    t.st_dd_recruited t.st_unhealthy_teams t.st_data_loss_risk
     (Fdb_obs.Rollup.json_of_doc doc)

@@ -22,6 +22,9 @@ type t = {
   st_grv_p99 : float;
   st_commit_p50 : float;
   st_commit_p99 : float;
+  st_dd_recruited : bool;  (** a DataDistributor is running *)
+  st_unhealthy_teams : int;  (** teams below full replication (DD gauge) *)
+  st_data_loss_risk : bool;  (** some team has zero responsive replicas *)
 }
 
 val gather : Fdb_core.Cluster.t -> t Fdb_sim.Future.t

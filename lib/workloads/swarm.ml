@@ -10,6 +10,8 @@ type report = {
   transfers : int;
   rotations : int;
   soup_committed : int;
+  dd_moves : int;
+  shard_checksum : int64;
   oracle_failures : string list;
   buggify_points : string list;
   trace_checksum : int64;
@@ -55,7 +57,110 @@ let initial_balance = 100
 let ring_nodes = 30
 let soup_keys = 50
 
-let run_one ?(buggify = true) ?(duration = 60.0) ~seed () =
+(* -------- shard movement under chaos -------------------------------- *)
+
+(* Aggressive DD thresholds for movement-enabled runs, restored afterwards
+   so other tests see the defaults. *)
+let with_dd_params ~enabled f =
+  if not enabled then f ()
+  else begin
+    let saved =
+      ( !Params.dd_movement_enabled, !Params.dd_rebalance_interval,
+        !Params.dd_split_bytes, !Params.dd_split_bandwidth,
+        !Params.dd_merge_bytes, !Params.dd_imbalance_ratio )
+    in
+    Params.dd_movement_enabled := true;
+    Params.dd_rebalance_interval := 0.5;
+    Params.dd_split_bytes := 4_000;
+    Params.dd_split_bandwidth := 50_000.0;
+    Params.dd_merge_bytes := 400;
+    Params.dd_imbalance_ratio := 1.5;
+    Fun.protect f ~finally:(fun () ->
+        let en, iv, sb, sbw, mb, ir = saved in
+        Params.dd_movement_enabled := en;
+        Params.dd_rebalance_interval := iv;
+        Params.dd_split_bytes := sb;
+        Params.dd_split_bandwidth := sbw;
+        Params.dd_merge_bytes := mb;
+        Params.dd_imbalance_ratio := ir)
+  end
+
+let pick_team rng n k =
+  let arr = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  done;
+  List.sort compare (Array.to_list (Array.sub arr 0 (min k n)))
+
+(* Fire splits, merges and full fetch-then-cutover moves continuously while
+   the workloads and the fault storm run: the move-during-everything
+   swarm. Moves run one at a time (each is awaited) so the schedule is a
+   deterministic function of the seed. *)
+let mover_job cluster ~until ~rng =
+  let ctx = Cluster.context cluster in
+  let db = Cluster.client cluster ~name:"swarm-mover" in
+  let machine = Process.fresh_machine ~dc:"dc1" 900_002 in
+  let proc = Process.create ~name:"swarm-mover" machine in
+  let n_ss = Array.length ctx.Context.storage_eps in
+  let moves = ref 0 in
+  let rec loop () =
+    if Engine.now () >= until then Future.return !moves
+    else
+      let* () = Engine.sleep (0.5 +. Rng.float rng 2.0) in
+      let map = ctx.Context.shard_map in
+      let ranges = Shard_map.ranges map in
+      let i = Rng.int rng (Array.length ranges) in
+      let lo, hi = ranges.(i) in
+      if lo >= Types.key_space_end then loop ()
+      else
+        match Rng.int rng 4 with
+        | 0 ->
+            (* Split somewhere strictly inside the shard. *)
+            let at = lo ^ "\x80" in
+            if at < min hi Types.key_space_end then
+              ignore (Shard_map.split map ~at : (unit, string) result);
+            loop ()
+        | 1 ->
+            ignore (Shard_map.merge_at map ~lo : (unit, string) result);
+            loop ()
+        | _ ->
+            let team_size = List.length (Shard_map.team_for_key map lo) in
+            let dst = pick_team rng n_ss team_size in
+            let* r = Data_distributor.move_shard ctx ~proc ~db ~lo ~dst in
+            (match r with Ok () -> incr moves | Error _ -> ());
+            loop ()
+  in
+  loop ()
+
+(* Before the oracles run, stop new movement and let in-flight moves finish
+   (or force-abort stragglers): the consistency check wants a world that is
+   no longer flipping teams under it, and a pending move left behind would
+   dual-tag writes forever. *)
+let quiesce_movement ctx =
+  Params.dd_movement_enabled := false;
+  let map = ctx.Context.shard_map in
+  let rec wait n =
+    match Shard_map.pending_moves map with
+    | [] -> Future.return ()
+    | pending ->
+        if n = 0 then begin
+          List.iter
+            (fun (lo, _, _, _) ->
+              ignore (Shard_map.abort_move map ~lo : (unit, string) result))
+            pending;
+          Future.return ()
+        end
+        else
+          let* () = Engine.sleep 1.0 in
+          wait (n - 1)
+  in
+  wait 40
+
+let run_one ?(buggify = true) ?(duration = 60.0) ?(dd_movement = false) ~seed () =
+  with_dd_params ~enabled:dd_movement @@ fun () ->
   let report =
     Engine.run ~seed ~max_time:3600.0 ~buggify (fun () ->
       let rng = Engine.fork_rng () in
@@ -84,10 +189,19 @@ let run_one ?(buggify = true) ?(duration = 60.0) ~seed () =
           ~machines:(Cluster.worker_machines cluster)
           (random_faults rng duration)
       in
+      let mover =
+        if dd_movement then mover_job cluster ~until:stop_at ~rng:(Rng.split rng)
+        else Future.return 0
+      in
       let* bank_stats = bank_job
       and* ring_stats = ring_job
       and* soup_stats = soup_job
+      and* dd_moves = mover
       and* () = fault_job in
+      let* () =
+        if dd_movement then quiesce_movement (Cluster.context cluster)
+        else Future.return ()
+      in
       (* Recoverability: after healing, the cluster must serve again. *)
       let* recoverable =
         Future.catch
@@ -123,6 +237,9 @@ let run_one ?(buggify = true) ?(duration = 60.0) ~seed () =
           transfers = bank_stats.Bank.transfers_committed;
           rotations = ring_stats.Ring.rotations;
           soup_committed = soup_stats.Random_ops.committed;
+          dd_moves;
+          shard_checksum =
+            Shard_map.history_checksum (Cluster.context cluster).Context.shard_map;
           oracle_failures = failures @ metrics_failures;
           buggify_points = Buggify.points_hit ();
           trace_checksum = 0L (* filled in once the run has fully drained *);
@@ -131,18 +248,25 @@ let run_one ?(buggify = true) ?(duration = 60.0) ~seed () =
   { report with trace_checksum = Engine.last_run_checksum () }
 
 (* The paper's own nondeterminism detector: replay the seed and compare
-   event-stream checksums. Any divergence means something outside the
-   seeded-RNG / virtual-time envelope leaked into the run. *)
-let check_determinism ?buggify ?duration ~seed () =
-  let a = run_one ?buggify ?duration ~seed () in
-  let b = run_one ?buggify ?duration ~seed () in
-  if Int64.equal a.trace_checksum b.trace_checksum then Ok a
-  else Error (a.trace_checksum, b.trace_checksum)
+   event-stream checksums — and, with movement on, the shard-map history
+   checksum, so a diverging shard-move schedule fails even if it somehow
+   produced the same event stream. Any divergence means something outside
+   the seeded-RNG / virtual-time envelope leaked into the run. *)
+let check_determinism ?buggify ?duration ?dd_movement ~seed () =
+  let a = run_one ?buggify ?duration ?dd_movement ~seed () in
+  let b = run_one ?buggify ?duration ?dd_movement ~seed () in
+  if not (Int64.equal a.trace_checksum b.trace_checksum) then
+    Error (a.trace_checksum, b.trace_checksum)
+  else if not (Int64.equal a.shard_checksum b.shard_checksum) then
+    Error (a.shard_checksum, b.shard_checksum)
+  else Ok a
 
 let pp_report fmt r =
   Format.fprintf fmt
-    "seed=%Ld machines=%d epochs=%d transfers=%d rotations=%d soup=%d csum=%016Lx %s"
-    r.seed r.machines r.epochs r.transfers r.rotations r.soup_committed r.trace_checksum
+    "seed=%Ld machines=%d epochs=%d transfers=%d rotations=%d soup=%d moves=%d \
+     csum=%016Lx shards=%016Lx %s"
+    r.seed r.machines r.epochs r.transfers r.rotations r.soup_committed r.dd_moves
+    r.trace_checksum r.shard_checksum
     (if r.oracle_failures = [] then "PASS"
      else "FAIL [" ^ String.concat "; " r.oracle_failures ^ "]");
   if r.buggify_points <> [] then

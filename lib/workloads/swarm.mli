@@ -16,6 +16,10 @@ type report = {
   transfers : int;
   rotations : int;
   soup_committed : int;
+  dd_moves : int;  (** shard moves committed by the swarm's mover job *)
+  shard_checksum : int64;
+      (** {!Fdb_core.Shard_map.history_checksum} at run end: fingerprint of
+          the full split/merge/move schedule *)
   oracle_failures : string list;  (** empty = the run passed *)
   buggify_points : string list;  (** fault-injection points that fired *)
   trace_checksum : int64;
@@ -23,13 +27,25 @@ type report = {
           executed event. Equal seeds must yield equal checksums. *)
 }
 
-val run_one : ?buggify:bool -> ?duration:float -> seed:int64 -> unit -> report
-(** Run one randomized simulation (NOT inside an existing engine run). *)
+val run_one :
+  ?buggify:bool -> ?duration:float -> ?dd_movement:bool -> seed:int64 -> unit -> report
+(** Run one randomized simulation (NOT inside an existing engine run).
+    [dd_movement] (default false) enables the DataDistributor's rebalancer
+    with aggressive thresholds {e and} a mover job that fires random
+    splits, merges and fetch-then-cutover moves throughout the run, then
+    quiesces movement before the oracles. *)
 
 val check_determinism :
-  ?buggify:bool -> ?duration:float -> seed:int64 -> unit -> (report, int64 * int64) result
-(** Run the seed twice and compare trace checksums: [Ok report] if the two
-    runs executed bit-identical event streams, [Error (first, second)]
-    otherwise — the paper's double-run nondeterminism detector. *)
+  ?buggify:bool ->
+  ?duration:float ->
+  ?dd_movement:bool ->
+  seed:int64 ->
+  unit ->
+  (report, int64 * int64) result
+(** Run the seed twice and compare trace checksums — and, with movement
+    enabled, shard-map history checksums, so a diverging shard-move
+    schedule is caught even when the event streams happen to agree:
+    [Ok report] if the runs match, [Error (first, second)] otherwise — the
+    paper's double-run nondeterminism detector. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -18,6 +18,26 @@ let test_double_run_identical () =
           Alcotest.failf "seed %Ld diverged: %016Lx <> %016Lx" seed a b)
     [ 7L; 11L; 23L; 31L; 42L; 57L; 88L; 101L ]
 
+(* Same oracle with active data distribution: the rebalancer plus the
+   swarm's mover job fire splits, merges and fetch-then-cutover moves all
+   through the chaos, and the double run must agree on the event-stream
+   checksum AND the shard-map history checksum — a diverging shard-move
+   schedule fails the seed even if the event streams happened to match. *)
+let test_double_run_identical_with_movement () =
+  List.iter
+    (fun seed ->
+      match
+        Swarm.check_determinism ~buggify:true ~duration:4.0 ~dd_movement:true ~seed ()
+      with
+      | Ok r ->
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %Ld shard checksum nonzero" seed)
+            true
+            (not (Int64.equal r.Swarm.shard_checksum 0L))
+      | Error (a, b) ->
+          Alcotest.failf "seed %Ld diverged under movement: %016Lx <> %016Lx" seed a b)
+    [ 7L; 11L; 23L; 31L; 42L; 57L; 88L; 101L ]
+
 let test_distinct_seeds_distinct_streams () =
   let csum seed =
     (Swarm.run_one ~buggify:false ~duration:2.0 ~seed ()).Swarm.trace_checksum
@@ -45,6 +65,8 @@ let test_checksum_sensitive_to_trace_kinds () =
 let suite =
   [
     Alcotest.test_case "double run identical checksum" `Slow test_double_run_identical;
+    Alcotest.test_case "double run identical with movement" `Slow
+      test_double_run_identical_with_movement;
     Alcotest.test_case "distinct seeds distinct streams" `Quick
       test_distinct_seeds_distinct_streams;
     Alcotest.test_case "trace kinds feed checksum" `Quick

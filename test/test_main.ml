@@ -15,6 +15,7 @@ let () =
       ("simulation", Test_simulation.suite);
       ("geo", Test_geo.suite);
       ("shard-map", Test_shard_map.suite);
+      ("data-distribution", Test_data_distribution.suite);
       ("workloads", Test_workloads.suite);
       ("tuple", Test_tuple.suite);
       ("client-ryw", Test_client_ryw.suite);

@@ -316,7 +316,7 @@ let test_shard_move_mid_read () =
             | Some (k, _) -> k
             | None -> "<extra rows>")
             (Trace.count "client_range_re_resolve")
-            (Trace.count "shard_map_set_team")
+            (Trace.count "shard_map_update")
             (Trace.count "client_read_failover");
         Future.return (rows, Trace.count "client_range_re_resolve"))
   in

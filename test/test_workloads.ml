@@ -76,6 +76,63 @@ let qcheck_checker_accepts_any_true_serial_history =
         ops;
       S.verify c = Ok ())
 
+(* ---------- skewed key generators: distribution shape ---------- *)
+
+let keygen_masses gen ~seed ~draws ~n =
+  let rng = Fdb_util.Det_rng.create (Int64.of_int seed) in
+  let counts = Array.make n 0 in
+  for _ = 1 to draws do
+    let r = Random_ops.Keygen.next_rank gen rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  counts
+
+let qcheck_zipfian_top_mass =
+  (* Zipf(1.0) over 1000 keys: the hottest 1% of ranks must carry far more
+     than their uniform share (analytically ~39%; we assert a safe 25%). *)
+  QCheck.Test.make ~name:"zipfian concentrates mass in the top 1%" ~count:20
+    QCheck.(make Gen.(int_range 1 1_000_000))
+    (fun seed ->
+      let n = 1000 and draws = 20_000 in
+      let gen = Random_ops.Keygen.zipfian ~n ~theta:1.0 in
+      let counts = keygen_masses gen ~seed ~draws ~n in
+      let top = ref 0 in
+      for i = 0 to (n / 100) - 1 do
+        top := !top + counts.(i)
+      done;
+      float_of_int !top /. float_of_int draws >= 0.25)
+
+let qcheck_hot_key_mass =
+  QCheck.Test.make ~name:"hot-key generator respects hot_prob" ~count:20
+    QCheck.(make Gen.(int_range 1 1_000_000))
+    (fun seed ->
+      let n = 1000 and draws = 20_000 in
+      let gen = Random_ops.Keygen.hot_key ~n ~hot:10 ~hot_prob:0.9 in
+      let counts = keygen_masses gen ~seed ~draws ~n in
+      let hot = ref 0 in
+      for i = 0 to 9 do
+        hot := !hot + counts.(i)
+      done;
+      let frac = float_of_int !hot /. float_of_int draws in
+      frac >= 0.85 && frac <= 0.95)
+
+let qcheck_sequential_monotone =
+  QCheck.Test.make ~name:"sequential generator emits strictly increasing keys" ~count:20
+    QCheck.(make Gen.(pair (int_range 0 1000) (int_range 2 200)))
+    (fun (start, draws) ->
+      let gen = Random_ops.Keygen.sequential ~start () in
+      let rng = Fdb_util.Det_rng.create 1L in
+      let keys =
+        List.init draws (fun _ -> Random_ops.Keygen.next_key ~prefix:"seq/" gen rng)
+      in
+      let rec increasing = function
+        | a :: (b :: _ as rest) -> a < b && increasing rest
+        | _ -> true
+      in
+      (* zero-padding makes lexicographic order = numeric order *)
+      increasing keys
+      && List.hd keys = Printf.sprintf "seq/%09d" start)
+
 let test_bank_and_ring_in_sim () =
   let open Fdb_sim in
   let open Fdb_core in
@@ -123,5 +180,8 @@ let suite =
     Alcotest.test_case "checker same-version ties" `Quick test_checker_same_version_ties;
     Alcotest.test_case "checker clear visible" `Quick test_checker_clear_visible;
     QCheck_alcotest.to_alcotest qcheck_checker_accepts_any_true_serial_history;
+    QCheck_alcotest.to_alcotest qcheck_zipfian_top_mass;
+    QCheck_alcotest.to_alcotest qcheck_hot_key_mass;
+    QCheck_alcotest.to_alcotest qcheck_sequential_monotone;
     Alcotest.test_case "bank+ring on small cluster" `Quick test_bank_and_ring_in_sim;
   ]
