@@ -1,11 +1,14 @@
 (* fdb_lint: the determinism lint driver (DESIGN.md, "The determinism
    contract"). Walks every .ml under the given roots (default lib bin
-   bench), runs the Lint pass, prints file:line:col diagnostics, and exits
-   non-zero on any violation. Wired into `dune build @lint`, which
-   `dune runtest` depends on.
+   bench), runs the Lint pass, prints file:line:col diagnostics (or a JSON
+   array with --json), and exits non-zero on any violation. Also audits the
+   whitelist: an entry that absorbed no diagnostic anywhere in the scanned
+   tree is stale and reported as an error. Wired into `dune build @lint`,
+   which `dune runtest` depends on.
 
-     dune exec bin/fdb_lint.exe -- --explain R2
-     dune exec bin/fdb_lint.exe -- --whitelist lint-whitelist.txt lib bin bench *)
+     dune exec bin/fdb_lint.exe -- --explain R5
+     dune exec bin/fdb_lint.exe -- --whitelist lint-whitelist.txt lib bin bench
+     dune exec bin/fdb_lint.exe -- --json lib *)
 
 open Cmdliner
 
@@ -29,7 +32,7 @@ let rec walk_dir acc path =
   else if Filename.check_suffix path ".ml" then path :: acc
   else acc
 
-let run_lint whitelist_file roots =
+let run_lint json whitelist_file roots =
   let t0 = Sys.time () in
   match
     match whitelist_file with
@@ -43,8 +46,43 @@ let run_lint whitelist_file roots =
       let files =
         List.concat_map (fun root -> walk_dir [] root) roots |> List.sort compare
       in
-      let diags = List.concat_map (Lint.lint_file ~whitelist) files in
-      List.iter (fun d -> Format.printf "%a@." Lint.pp_diagnostic d) diags;
+      (* Stale-whitelist audit: track which entries absorbed a diagnostic.
+         Only entries whose file was actually scanned can be convicted —
+         linting a subtree must not flag entries for files outside it. *)
+      let used = Hashtbl.create 8 in
+      let whitelist_used entry = Hashtbl.replace used entry () in
+      let diags =
+        List.concat_map (Lint.lint_file ~whitelist ~whitelist_used) files
+      in
+      let scanned =
+        List.map
+          (fun f -> String.map (fun c -> if c = '\\' then '/' else c) f)
+          files
+      in
+      let stale_entries =
+        List.filter
+          (fun ((_, path) as entry) ->
+            List.mem path scanned && not (Hashtbl.mem used entry))
+          whitelist
+      in
+      let stale_diags =
+        List.map
+          (fun (rule, path) ->
+            {
+              Lint.d_file = path;
+              d_line = 0;
+              d_col = 0;
+              d_rule = None;
+              d_msg =
+                "stale whitelist entry: " ^ Lint.rule_name rule ^ " " ^ path
+                ^ " no longer suppresses any diagnostic; remove it from the \
+                   whitelist";
+            })
+          stale_entries
+      in
+      let diags = diags @ stale_diags in
+      if json then print_endline (Lint.diagnostics_to_json diags)
+      else List.iter (fun d -> Format.printf "%a@." Lint.pp_diagnostic d) diags;
       let elapsed = Sys.time () -. t0 in
       if elapsed > budget_seconds then begin
         Printf.eprintf "fdb_lint: blew the %.0fs runtime budget (%.2fs over %d files)\n"
@@ -52,13 +90,15 @@ let run_lint whitelist_file roots =
         2
       end
       else if diags <> [] then begin
-        Printf.printf "fdb_lint: %d violation(s) in %d files (%.2fs)\n"
-          (List.length diags) (List.length files) elapsed;
+        if not json then
+          Printf.printf "fdb_lint: %d violation(s) in %d files (%.2fs)\n"
+            (List.length diags) (List.length files) elapsed;
         1
       end
       else begin
-        Printf.printf "fdb_lint: OK — %d files clean (%.2fs)\n" (List.length files)
-          elapsed;
+        if not json then
+          Printf.printf "fdb_lint: OK — %d files clean (%.2fs)\n"
+            (List.length files) elapsed;
         0
       end
 
@@ -79,6 +119,14 @@ let cmd =
       & opt (some string) None
       & info [ "explain" ] ~docv:"RULE" ~doc:"Print the rationale for $(docv) and exit.")
   in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit diagnostics as a JSON array (file/line/col/rule/msg) \
+             instead of text; suppresses the summary line.")
+  in
   let whitelist =
     Arg.(
       value
@@ -92,11 +140,14 @@ let cmd =
       & pos_all string [ "lib"; "bin"; "bench" ]
       & info [] ~docv:"DIR" ~doc:"Directories to scan (default: lib bin bench).")
   in
-  let action explain whitelist roots =
-    exit (match explain with Some r -> explain_rule r | None -> run_lint whitelist roots)
+  let action explain json whitelist roots =
+    exit
+      (match explain with
+      | Some r -> explain_rule r
+      | None -> run_lint json whitelist roots)
   in
   Cmd.v
     (Cmd.info "fdb_lint" ~doc:"determinism lint for the FoundationDB reproduction")
-    Term.(const action $ explain $ whitelist $ roots)
+    Term.(const action $ explain $ json $ whitelist $ roots)
 
 let () = exit (Cmd.eval cmd)

@@ -9,12 +9,19 @@
 
 open Cmdliner
 
-let run_seed ~buggify ~duration ~dd_movement ~trace seed =
+let leak_count (r : Fdb_workloads.Swarm.report) =
+  Fdb_sim.Future.Lifecycle.total_leaks r.Fdb_workloads.Swarm.lifecycle
+
+let run_seed ~buggify ~duration ~dd_movement ~trace ~check_leaks seed =
   let report = Fdb_workloads.Swarm.run_one ~buggify ~duration ~dd_movement ~seed () in
   Format.printf "%a@." Fdb_workloads.Swarm.pp_report report;
   if trace && report.Fdb_workloads.Swarm.oracle_failures <> [] then
     Fdb_sim.Trace.dump Format.std_formatter ();
-  report.Fdb_workloads.Swarm.oracle_failures = []
+  let leaked = check_leaks && leak_count report > 0 in
+  if leaked then
+    Printf.printf "seed=%Ld LEAK FAIL: %d promise(s) still pending at sim end\n"
+      seed (leak_count report);
+  report.Fdb_workloads.Swarm.oracle_failures = [] && not leaked
 
 let swarm_cmd =
   let seeds =
@@ -45,7 +52,17 @@ let swarm_cmd =
             "Enable active data distribution: the rebalancer plus a mover \
              job firing random shard splits, merges and moves during chaos.")
   in
-  let action seeds start duration no_buggify check_det dd_movement =
+  let check_leaks =
+    Arg.(
+      value & flag
+      & info [ "check-leaks" ]
+          ~doc:
+            "Fail any run whose promise-lifecycle report shows leaked \
+             wakeups: labeled promises still pending, with waiters, on live \
+             processes at simulation end (the runtime backstop behind lint \
+             rule R6).")
+  in
+  let action seeds start duration no_buggify check_det dd_movement check_leaks =
     let buggify = not no_buggify in
     let failures = ref 0 in
     for s = start to start + seeds - 1 do
@@ -55,25 +72,31 @@ let swarm_cmd =
           Fdb_workloads.Swarm.check_determinism ~buggify ~duration ~dd_movement ~seed ()
         with
         | Ok report ->
-            Printf.printf "seed=%Ld csum=%016Lx shards=%016Lx determinism OK%s\n" seed
+            let leaks = if check_leaks then leak_count report else 0 in
+            Printf.printf "seed=%Ld csum=%016Lx shards=%016Lx determinism OK%s%s\n" seed
               report.Fdb_workloads.Swarm.trace_checksum
               report.Fdb_workloads.Swarm.shard_checksum
               (if report.Fdb_workloads.Swarm.oracle_failures = [] then ""
-               else " (oracle FAIL)");
-            if report.Fdb_workloads.Swarm.oracle_failures <> [] then incr failures
+               else " (oracle FAIL)")
+              (if leaks > 0 then Printf.sprintf " (LEAK FAIL: %d)" leaks else "");
+            if report.Fdb_workloads.Swarm.oracle_failures <> [] || leaks > 0 then
+              incr failures
         | Error (a, b) ->
             Printf.printf "seed=%Ld DETERMINISM FAIL: %016Lx <> %016Lx\n" seed a b;
             incr failures
       end
-      else if not (run_seed ~buggify ~duration ~dd_movement ~trace:false seed) then
-        incr failures
+      else if
+        not (run_seed ~buggify ~duration ~dd_movement ~trace:false ~check_leaks seed)
+      then incr failures
     done;
     Printf.printf "%d/%d runs passed all oracles.\n" (seeds - !failures) seeds;
     if !failures > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "swarm" ~doc:"Run many randomized fault-injection simulations.")
-    Term.(const action $ seeds $ start $ duration $ no_buggify $ check_det $ dd_movement)
+    Term.(
+      const action $ seeds $ start $ duration $ no_buggify $ check_det $ dd_movement
+      $ check_leaks)
 
 let run_cmd =
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.") in
@@ -89,16 +112,22 @@ let run_cmd =
   let dd_movement =
     Arg.(value & flag & info [ "dd-movement" ] ~doc:"Enable active data distribution.")
   in
-  let action seed duration trace no_buggify dd_movement =
+  let check_leaks =
+    Arg.(
+      value & flag
+      & info [ "check-leaks" ] ~doc:"Fail on leaked promises at simulation end.")
+  in
+  let action seed duration trace no_buggify dd_movement check_leaks =
     if
       not
-        (run_seed ~buggify:(not no_buggify) ~duration ~dd_movement ~trace
+        (run_seed ~buggify:(not no_buggify) ~duration ~dd_movement ~trace ~check_leaks
            (Int64.of_int seed))
     then exit 1
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run (or replay) a single seeded simulation.")
-    Term.(const action $ seed $ duration $ trace $ no_buggify $ dd_movement)
+    Term.(
+      const action $ seed $ duration $ trace $ no_buggify $ dd_movement $ check_leaks)
 
 let status_cmd =
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.") in

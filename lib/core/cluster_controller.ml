@@ -103,6 +103,7 @@ let supervise t =
             | `Alive -> Future.return ()
             | `Dead ->
                 Trace.emit "cc_sequencer_failed" [ ("epoch", string_of_int t.epoch) ];
+                (* fdb-lint: allow R5 -- single-writer: only this monitor loop mutates t.seq *)
                 t.seq <- None;
                 t.recovered <- false;
                 Future.return ())
@@ -115,6 +116,7 @@ let supervise t =
               (match ep with
               | Some _ -> Trace.emit "cc_sequencer_recruited" []
               | None -> ());
+              (* fdb-lint: allow R5 -- single-writer: only this monitor loop mutates t.seq *)
               t.seq <- ep;
               Future.return ()
       in

@@ -298,6 +298,7 @@ let rebalance_tick t =
         let* at = split_point t teams.(i) ~from:lo ~until in
         (match at with
         | Some at -> (
+            (* fdb-lint: allow R5 -- Context.t is immutable: map is a stable handle; every Shard_map operation re-reads its contents *)
             match Shard_map.split map ~at with
             | Ok () ->
                 Registry.incr t.obs_splits;

@@ -110,7 +110,7 @@ let persist_entry t (e : Message.log_entry) =
   let t0 = Engine.now () in
   let record = Marshal.to_string (e : Message.log_entry) [] in
   let* () = Disk.append t.disk t.wal record in
-  let fut, promise = Future.make () in
+  let fut, promise = Future.make ~label:"tlog.sync_wait" () in
   t.waiting_sync <- (e.Message.le_lsn, promise) :: t.waiting_sync;
   schedule_sync t;
   Future.map fut (fun () ->
@@ -201,7 +201,9 @@ let prune t =
         Disk.write_file t.disk t.floor_file (Types.version_to_bytes new_floor)
       in
       let* () = Disk.sync t.disk t.floor_file in
-      t.floor <- new_floor;
+      (* Monotone re-read after the disk yields (rule R5): never let a
+         slow cleanup regress a floor a faster one already advanced. *)
+      if new_floor > t.floor then t.floor <- new_floor;
       List.iter
         (fun lsn ->
           (match Det_tbl.find_opt t.entries lsn with
@@ -259,7 +261,7 @@ let handle t (msg : Message.t) : Message.t Future.t =
         if t.dv >= lp_entry.Message.le_lsn then
           Future.return (Message.Log_push_ack { durable_version = t.dv })
         else
-          let fut, promise = Future.make () in
+          let fut, promise = Future.make ~label:"tlog.sync_wait" () in
           t.waiting_sync <- (lp_entry.Message.le_lsn, promise) :: t.waiting_sync;
           schedule_sync t;
           Future.map fut (fun () -> Message.Log_push_ack { durable_version = t.dv })
@@ -287,7 +289,7 @@ let handle t (msg : Message.t) : Message.t Future.t =
             Future.return (Message.Reject (Error.Internal "tlog: park slot taken"))
           end
           else begin
-            let fut, promise = Future.make () in
+            let fut, promise = Future.make ~label:"tlog.park" () in
             Det_tbl.replace t.pending lp_entry.Message.le_prev (lp_entry, promise);
             Trace.emit "tlog_park"
               [ ("lsn", Int64.to_string lp_entry.Message.le_lsn);

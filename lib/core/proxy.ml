@@ -559,8 +559,8 @@ let rec commit_flush_pipelined t =
     Fdb_obs.Registry.set_gauge t.obs_queue_depth
       (float_of_int (Queue.length t.commit_queue));
     let version_gate = t.chain_version and prev_done = t.chain_done in
-    let version_fut, version_ready = Future.make () in
-    let done_fut, done_p = Future.make () in
+    let version_fut, version_ready = Future.make ~label:"proxy.chain_version" () in
+    let done_fut, done_p = Future.make ~label:"proxy.chain_done" () in
     t.chain_version <- version_fut;
     t.chain_done <- done_fut;
     t.commit_inflight <- t.commit_inflight + 1;
@@ -628,7 +628,7 @@ let handle t (msg : Message.t) : Message.t Future.t =
     match msg with
     | Message.Seq_ping -> Future.return Message.Ok_reply
     | Message.Grv_req ->
-        let fut, promise = Future.make () in
+        let fut, promise = Future.make ~label:"proxy.grv_reply" () in
         Queue.push promise t.grv_queue;
         schedule_grv_flush t;
         let t0 = Engine.now () in
@@ -641,7 +641,7 @@ let handle t (msg : Message.t) : Message.t Future.t =
             reply)
     | Message.Commit_req txn ->
         Fdb_obs.Registry.incr t.obs_attempts;
-        let fut, promise = Future.make () in
+        let fut, promise = Future.make ~label:"proxy.commit_reply" () in
         Queue.push (txn, promise) t.commit_queue;
         Fdb_obs.Registry.set_gauge t.obs_queue_depth
           (float_of_int (Queue.length t.commit_queue));

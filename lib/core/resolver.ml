@@ -75,6 +75,19 @@ let cost txns =
 let rec process t lsn prev txns =
   assert (prev = t.last_lsn);
   let* () = Engine.cpu t.proc (Params.cpu (cost txns)) in
+  (* Re-check the chain head after the CPU yield (rule R5): a duplicate
+     delivery that passed handle's [rs_prev = t.last_lsn] guard before we
+     advanced [last_lsn] runs a concurrent [process] for the same slot. The
+     loser must replay the winner's verdicts, not re-run check_batch
+     against a version map the winner already mutated. *)
+  if t.last_lsn <> prev then begin
+    Trace.emit "resolver_stale_process"
+      [ ("lsn", Int64.to_string lsn); ("prev", Int64.to_string prev) ];
+    match Fdb_util.Det_tbl.find_opt t.verdicts lsn with
+    | Some v -> Future.return (Message.Resolve_reply v)
+    | None -> Future.return (Message.Reject (Error.Internal "stale resolve"))
+  end
+  else begin
   let work_before = Rvm.work t.rvm in
   let verdicts = check_batch t lsn txns in
   Fdb_obs.Registry.set_gauge t.obs_check_cost
@@ -103,6 +116,7 @@ let rec process t lsn prev txns =
           Future.return ())
   | Some _ | None -> ());
   Future.return (Message.Resolve_reply verdicts)
+  end
 
 let handle t (msg : Message.t) : Message.t Future.t =
   match msg with
@@ -127,7 +141,7 @@ let handle t (msg : Message.t) : Message.t Future.t =
               [ ("lsn", Int64.to_string rs_lsn); ("prev", Int64.to_string rs_prev) ];
             Future.return (Message.Reject (Error.Internal "duplicate parked resolve"))
         | None ->
-            let fut, promise = Future.make () in
+            let fut, promise = Future.make ~label:"resolver.park" () in
             Fdb_util.Det_tbl.replace t.parked rs_prev (msg, promise);
             Fdb_obs.Registry.set_gauge t.obs_parked
               (float_of_int (Fdb_util.Det_tbl.length t.parked));

@@ -294,6 +294,7 @@ let pull_once t =
           match reply with
           | Message.Log_peek_reply { pk_entries; pk_end; pk_kcv } ->
               t.stale_pulls <- 0;
+              (* fdb-lint: allow R5 -- deliberate pre-RPC snapshot: entries apply under the epoch in force when the peek was issued (Wrong_epoch protocol) *)
               apply_entries t ~as_of_epoch pk_entries pk_end pk_kcv
           | _ -> Future.return ())
         (function
@@ -413,7 +414,9 @@ let make_durable t =
     let marker = Mutation.Set (version_meta_key, Types.version_to_bytes target) in
     let* () = Pstore.apply t.pstore (muts @ clears @ [ marker ]) in
     let* () = Pstore.commit t.pstore in
-    t.durable <- target;
+    (* Monotone re-read after the pstore yields (rule R5): never regress a
+       durable horizon a concurrent pass already advanced. *)
+    if target > t.durable then t.durable <- target;
     (* Tell the logs this data no longer needs them. *)
     List.iter
       (fun (_, ep) ->
@@ -439,7 +442,7 @@ let durable_loop t =
 let wait_for_version t v =
   if v <= t.version then Future.return true
   else begin
-    let fut, promise = Future.make () in
+    let fut, promise = Future.make ~label:"ss.version_wait" () in
     t.waiters <- (v, promise) :: t.waiters;
     Future.catch
       (fun () -> Future.map (Engine.timeout Params.storage_read_wait fut) (fun () -> true))

@@ -5,18 +5,32 @@
    identifier paths syntactically. That keeps the pass fast (<5s over the
    whole tree) and robust to partial builds, at the cost of not seeing
    through aliases; the module_expr check below closes the obvious
-   laundering hole ([module U = Unix], [open Random]). *)
+   laundering hole ([module U = Unix], [open Random]).
 
-type rule = R1 | R2 | R3 | R4
+   R5 is the one non-local rule: a small abstract interpretation over each
+   function body that tracks, per syntactic mutable location, whether the
+   code's knowledge of it predates a yield point. See "the R5 pass"
+   below. *)
 
-let all_rules = [ R1; R2; R3; R4 ]
-let rule_name = function R1 -> "R1" | R2 -> "R2" | R3 -> "R3" | R4 -> "R4"
+type rule = R1 | R2 | R3 | R4 | R5 | R6
+
+let all_rules = [ R1; R2; R3; R4; R5; R6 ]
+
+let rule_name = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+  | R6 -> "R6"
 
 let rule_of_string = function
   | "R1" -> Some R1
   | "R2" -> Some R2
   | "R3" -> Some R3
   | "R4" -> Some R4
+  | "R5" -> Some R5
+  | "R6" -> Some R6
   | _ -> None
 
 let explain = function
@@ -48,6 +62,30 @@ let explain = function
        Library output must flow through Trace (simulation-visible, part of\n\
        the trace checksum) or a formatter handed in by the caller; stdout\n\
        writes and process exit belong to bin/ drivers only."
+  | R5 ->
+      "R5: no stale state across a yield (cross-yield atomicity).\n\
+       Every let*/let+/Future.bind/Future.map suspends the actor; any other\n\
+       actor may run and mutate shared state before the continuation\n\
+       resumes. Writing a mutable location whose last read happened before\n\
+       the yield acts on a stale snapshot — the shape of the historical\n\
+       commit_flush re-entrancy race — and so does using a local that\n\
+       captured a mutable location's value across the yield. Re-read the\n\
+       location after the yield (the re-read idiom), restructure so the\n\
+       decision and the write sit on the same side of the yield, or\n\
+       suppress with a reason stating the invariant that makes the stale\n\
+       value safe (e.g. a single-writer guard held across the yield)."
+  | R6 ->
+      "R6: no lost futures (future lifecycle).\n\
+       A discarded Future.t is an actor whose failures vanish and whose\n\
+       pending waiters can leak: ignore (e : _ Future.t), bare\n\
+       Future.ignore_result, and statement- or let-_-position discards of\n\
+       known future-returning calls are all flagged. Await the future, or\n\
+       fire-and-forget it with the approved idiom Future.detach ~name\n\
+       (failures become future_detached_error trace events and are tallied\n\
+       by the runtime sanitizer) or Engine.spawn for whole actors. The\n\
+       residue the static rule cannot see is caught at runtime:\n\
+       fdb_sim swarm --check-leaks fails on promises still pending at\n\
+       simulation end."
 
 type diagnostic = {
   d_file : string;
@@ -61,6 +99,35 @@ let pp_diagnostic fmt d =
   Format.fprintf fmt "%s:%d:%d: [%s] %s" d.d_file d.d_line d.d_col
     (match d.d_rule with Some r -> rule_name r | None -> "lint")
     d.d_msg
+
+(* Machine-readable rendering (fdb_lint --json): one object per
+   diagnostic, keys file/line/col/rule/msg, emitted as a JSON array. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let diagnostic_to_json d =
+  Printf.sprintf "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"msg\":\"%s\"}"
+    (json_escape d.d_file) d.d_line d.d_col
+    (match d.d_rule with Some r -> rule_name r | None -> "lint")
+    (json_escape d.d_msg)
+
+let diagnostics_to_json diags =
+  match diags with
+  | [] -> "[]"
+  | _ ->
+      "[\n  " ^ String.concat ",\n  " (List.map diagnostic_to_json diags) ^ "\n]"
 
 type whitelist = (rule * string) list
 
@@ -78,6 +145,9 @@ let applies rule path =
   | R2 -> not (String.starts_with ~prefix:"lib/util/" path)
   | R3 -> true
   | R4 -> String.starts_with ~prefix:"lib/" path
+  (* The actor model lives under lib/; drivers and benches run Engine.run
+     at top level and own their futures explicitly. *)
+  | R5 | R6 -> String.starts_with ~prefix:"lib/" path
 
 let parse_whitelist src =
   String.split_on_char '\n' src
@@ -104,10 +174,14 @@ let parse_whitelist src =
                | None -> failwith ("lint whitelist: unknown rule " ^ r)))
 
 (* ---- suppression comments ----
-   (* fdb-lint: allow R2 -- reason *) suppresses RULE on its own line; when
-   the comment stands alone on a line it also covers the next line. The
+   A comment of the form "fdb-lint" ":" "allow RULE -- reason" (spelled out
+   here so the scanner does not match its own source) suppresses RULE on
+   its own line; when the comment stands alone on a line it also covers
+   the next line. The
    reason is mandatory: a suppression that cannot justify itself is a
-   diagnostic, not an exemption. *)
+   diagnostic, not an exemption. A suppression that no longer suppresses
+   anything is also a diagnostic (the stale-suppression audit): dead
+   exemptions rot into blanket ones as code moves underneath them. *)
 
 let find_sub hay needle =
   let nh = String.length hay and nn = String.length needle in
@@ -120,6 +194,13 @@ let find_sub hay needle =
 
 (* Built by concatenation so the scanner does not match its own source. *)
 let marker = "fdb-lint" ^ ":"
+
+type suppression = {
+  s_comment_line : int;  (* where the allow comment sits *)
+  s_rule : rule;
+  s_lines : int list;  (* source lines it covers *)
+  mutable s_used : bool;
+}
 
 let scan_suppressions ~path src =
   let supp = ref [] and errs = ref [] in
@@ -173,8 +254,17 @@ let scan_suppressions ~path src =
                           String.trim (String.sub line 0 j) = ""
                       | _ -> false
                     in
-                    supp := (lineno, rule) :: !supp;
-                    if standalone then supp := (lineno + 1, rule) :: !supp
+                    let covered =
+                      if standalone then [ lineno; lineno + 1 ] else [ lineno ]
+                    in
+                    supp :=
+                      {
+                        s_comment_line = lineno;
+                        s_rule = rule;
+                        s_lines = covered;
+                        s_used = false;
+                      }
+                      :: !supp
                   end)
           | _ ->
               err lineno
@@ -183,11 +273,16 @@ let scan_suppressions ~path src =
     lines;
   (!supp, !errs)
 
-(* ---- the AST pass ---- *)
+(* ---- the R1-R4 AST pass ---- *)
 
 let strip_stdlib p =
   if String.starts_with ~prefix:"Stdlib." p then
     String.sub p 7 (String.length p - 7)
+  else p
+
+let strip_sim p =
+  if String.starts_with ~prefix:"Fdb_sim." p then
+    String.sub p 8 (String.length p - 8)
   else p
 
 let r4_prints =
@@ -221,6 +316,13 @@ let check_ident violation loc lid =
       violation R2 loc
         (p ^ " enumerates in hash order; use Fdb_util.Det_tbl (key-sorted)")
   | _ -> ());
+  (* R6: the unapproved detach — swallows the error side-channel. *)
+  (match strip_sim bare with
+  | "Future.ignore_result" ->
+      violation R6 loc
+        (p ^ " swallows failures; use Future.detach ~name (traces \
+         future_detached_error) or await the future")
+  | _ -> ());
   (* R4 *)
   if List.mem bare r4_prints then
     violation R4 loc (p ^ " writes to stdout from library code; use Trace")
@@ -241,6 +343,52 @@ let is_ignore_ident (e : Parsetree.expression) =
       true
   | _ -> false
 
+(* Paths whose application is known to produce a Future.t — the set R6 can
+   convict syntactically when the result is discarded. (A discarded future
+   in statement position is usually already a compile error via warning 10;
+   these catch the laundered forms: ignore, let _ = .) *)
+let future_returning =
+  [
+    "Future.bind";
+    "Future.map";
+    "Future.all";
+    "Future.all_unit";
+    "Future.join2";
+    "Future.race";
+    "Future.catch";
+    "Future.protect";
+    "Engine.sleep";
+    "Engine.sleep_until";
+    "Engine.yield";
+    "Engine.timeout";
+    "Engine.cpu";
+    "Context.rpc";
+    "Network.call";
+  ]
+
+let head_is_future_call (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+      let p = strip_sim (String.concat "." (Longident.flatten txt)) in
+      if List.mem p future_returning then Some p else None
+  | _ -> None
+
+(* Does this type annotation name a future? ('a Future.t, both qualified
+   and through Fdb_sim.) *)
+let rec is_future_type (t : Parsetree.core_type) =
+  match t.ptyp_desc with
+  | Ptyp_constr ({ txt; _ }, _) -> (
+      match List.rev (Longident.flatten txt) with
+      | "t" :: "Future" :: _ -> true
+      | _ -> false)
+  | Ptyp_alias (t, _) -> is_future_type t
+  | _ -> false
+
+let discard_msg p =
+  p
+  ^ " returns a future that is discarded here; await it or detach with \
+     Future.detach ~name (failures trace as future_detached_error)"
+
 let walk violation (ast : Parsetree.structure) =
   let open Ast_iterator in
   let expr self (e : Parsetree.expression) =
@@ -248,11 +396,32 @@ let walk violation (ast : Parsetree.structure) =
     | Pexp_ident { txt; loc } -> check_ident violation loc txt
     | Pexp_apply (fn, [ (Nolabel, arg) ]) when is_ignore_ident fn -> (
         match arg.pexp_desc with
-        | Pexp_constraint _ -> ()
+        | Pexp_constraint (_, ty) ->
+            if is_future_type ty then
+              violation R6 e.pexp_loc
+                "ignore of a Future.t: the error side-channel vanishes and \
+                 pending waiters can leak; use Future.detach ~name or await it"
         | _ ->
             violation R3 e.pexp_loc
               "ignore without a type annotation; write ignore (e : ty) so the \
-               dropped value is visible")
+               dropped value is visible";
+            (match head_is_future_call arg with
+            | Some p -> violation R6 e.pexp_loc (discard_msg p)
+            | None -> ()))
+    | Pexp_sequence (e1, _) -> (
+        match head_is_future_call e1 with
+        | Some p -> violation R6 e1.pexp_loc (discard_msg p)
+        | None -> ())
+    | Pexp_let (_, vbs, _) ->
+        List.iter
+          (fun (vb : Parsetree.value_binding) ->
+            match vb.pvb_pat.ppat_desc with
+            | Ppat_any -> (
+                match head_is_future_call vb.pvb_expr with
+                | Some p -> violation R6 vb.pvb_loc (discard_msg p)
+                | None -> ())
+            | _ -> ())
+          vbs
     | _ -> ());
     default_iterator.expr self e
   in
@@ -270,6 +439,371 @@ let walk violation (ast : Parsetree.structure) =
     default_iterator.module_expr self m
   in
   let it = { default_iterator with expr; module_expr } in
+  it.structure it ast
+
+(* ---- the R5 pass: cross-yield atomicity ----
+
+   A per-function-body abstract interpretation. Yield points are let*/let+
+   (and their and*s) and literal Future.bind/Future.map continuations —
+   everywhere the actor suspends and other actors may run. Mutable
+   locations are tracked syntactically: a ref deref/assignment whose ref is
+   a named path ([!r], [r := e], module-level refs included), and a record
+   field get/set rooted at a named path ([t.kcv], [t.kcv <- v]).
+
+   Per location the state is one of
+     Lclean - no knowledge (never read, or last event was our own write)
+     Lread  - read since the last yield: knowledge is current
+     Lstale - read at some point, but a yield has happened since
+   and the two convictions are
+     (a) writing a location whose state is Lstale: the write acts on a
+         pre-yield snapshot (the commit_flush-race shape), and
+     (b) using a local [let v = t.q in] that captured a location's value
+         before a yield, after the yield, when the location has not been
+         re-read — the captured-snapshot shape.
+   Reads are never flagged: a post-yield read IS the re-read idiom.
+
+   Control flow: branches are analyzed from the same incoming state and
+   merged pointwise toward the stalest answer; Future.catch/protect bodies
+   are inlined sequentially (the handler runs after whatever prefix of the
+   protected body executed); other lambdas are separate function bodies —
+   except bind/map continuations, which continue the suspended actor and
+   are analyzed inline after the yield. *)
+
+module SMap = Map.Make (String)
+
+type lstatus = Lclean | Lread | Lstale
+
+type capture = { cap_loc : string; cap_line : int; cap_stale : bool; cap_reported : bool }
+
+type r5_state = { locs : lstatus SMap.t; caps : capture SMap.t }
+
+let r5_empty = { locs = SMap.empty; caps = SMap.empty }
+
+let lrank = function Lclean -> 0 | Lread -> 1 | Lstale -> 2
+
+let lmax a b = if lrank a >= lrank b then a else b
+
+let r5_merge a b =
+  {
+    locs =
+      SMap.merge
+        (fun _ x y ->
+          match (x, y) with
+          | Some x, Some y -> Some (lmax x y)
+          | Some x, None | None, Some x -> Some x
+          | None, None -> None)
+        a.locs b.locs;
+    caps =
+      SMap.merge
+        (fun _ x y ->
+          match (x, y) with
+          | Some x, Some y when x.cap_loc = y.cap_loc ->
+              Some
+                {
+                  x with
+                  cap_stale = x.cap_stale || y.cap_stale;
+                  cap_reported = x.cap_reported || y.cap_reported;
+                }
+          | Some x, None | None, Some x -> Some x
+          | _ -> None)
+        a.caps b.caps;
+  }
+
+let r5_yield st =
+  {
+    locs = SMap.map (function Lread -> Lstale | s -> s) st.locs;
+    caps = SMap.map (fun c -> { c with cap_stale = true }) st.caps;
+  }
+
+(* The named path of an expression, if it is one: x, M.x, t.field,
+   t.a.field (field labels may be module-qualified). *)
+let rec named_path (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (String.concat "." (Longident.flatten txt))
+  | Pexp_field (b, { txt; _ }) -> (
+      match named_path b with
+      | Some p -> Some (p ^ "." ^ Longident.last txt)
+      | None -> None)
+  | Pexp_constraint (e, _) -> named_path e
+  | _ -> None
+
+(* The location captured by a let-binding RHS, if the RHS is a bare read
+   of a mutable location: a field get or a ref deref. *)
+let rec capture_key (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_field (_, _) -> named_path e
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Lident "!"; _ }; _ },
+        [ (Asttypes.Nolabel, arg) ] ) ->
+      named_path arg
+  | Pexp_constraint (e, _) -> capture_key e
+  | _ -> None
+
+let rec pattern_vars acc (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> txt :: acc
+  | Ppat_alias (p, { txt; _ }) -> pattern_vars (txt :: acc) p
+  | Ppat_tuple ps -> List.fold_left pattern_vars acc ps
+  | Ppat_construct (_, Some (_, p)) -> pattern_vars acc p
+  | Ppat_variant (_, Some p) -> pattern_vars acc p
+  | Ppat_record (fields, _) ->
+      List.fold_left (fun acc (_, p) -> pattern_vars acc p) acc fields
+  | Ppat_array ps -> List.fold_left pattern_vars acc ps
+  | Ppat_or (a, b) -> pattern_vars (pattern_vars acc a) b
+  | Ppat_constraint (p, _) -> pattern_vars acc p
+  | Ppat_lazy p | Ppat_open (_, p) | Ppat_exception p -> pattern_vars acc p
+  | _ -> acc
+
+(* Binding a name starts a fresh location: captures under that name die,
+   and so does tracked state for locations rooted at it (a rebound ref or
+   record is a different object — [let candidate = ref None in …] twice in
+   one body must not connect the two). *)
+let shadow st pat =
+  let vars = pattern_vars [] pat in
+  let rooted_at v key =
+    key = v || String.starts_with ~prefix:(v ^ ".") key
+  in
+  {
+    locs =
+      SMap.filter (fun key _ -> not (List.exists (fun v -> rooted_at v key) vars)) st.locs;
+    caps = List.fold_left (fun caps v -> SMap.remove v caps) st.caps vars;
+  }
+
+let fun_key (e : Parsetree.expression) =
+  let l = e.pexp_loc in
+  (l.loc_start.Lexing.pos_cnum, l.loc_end.Lexing.pos_cnum)
+
+let r5_pass violation (ast : Parsetree.structure) =
+  (* bind/map continuations analyzed inline, so the unit scan must not
+     start a fresh analysis for them. Point lookups only (R2-clean). *)
+  let consumed : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let read st key = { st with locs = SMap.add key Lread st.locs } in
+  let write st key (loc : Location.t) =
+    (match SMap.find_opt key st.locs with
+    | Some Lstale ->
+        violation R5 loc
+          ("cross-yield write: " ^ key
+         ^ " was last read before a yield; other actors may have changed it \
+            while this one was suspended — re-read it after the yield or \
+            restructure (commit_flush-race shape)")
+    | _ -> ());
+    { st with locs = SMap.add key Lclean st.locs }
+  in
+  let use_var st v (loc : Location.t) =
+    match SMap.find_opt v st.caps with
+    | Some c
+      when c.cap_stale && (not c.cap_reported)
+           && SMap.find_opt c.cap_loc st.locs <> Some Lread ->
+        violation R5 loc
+          ("stale capture: " ^ v ^ " holds the value of " ^ c.cap_loc
+         ^ " read before a yield (line "
+          ^ string_of_int c.cap_line
+          ^ "); re-read " ^ c.cap_loc ^ " after the yield instead");
+        { st with caps = SMap.add v { c with cap_reported = true } st.caps }
+    | _ -> st
+  in
+  let is_yield_op op = op = "let*" || op = "let+" in
+  let rec unit_body (body : Parsetree.expression) =
+    ignore (go r5_empty body : r5_state)
+  (* A let-binding RHS that is itself a letop ([let f = let* x = a in … in])
+     only CONSTRUCTS a future — the enclosing function does not suspend.
+     Analyze the continuation in the post-yield state (its own accesses are
+     still checked) but flow the pre-yield state onward, exactly as for a
+     literal Future.bind. *)
+  and go_rhs st (e : Parsetree.expression) : r5_state =
+    match e.pexp_desc with
+    | Pexp_letop { let_; ands; body } when is_yield_op let_.pbop_op.txt ->
+        let st1 = go st let_.pbop_exp in
+        let st1 =
+          List.fold_left
+            (fun st (a : Parsetree.binding_op) -> go st a.pbop_exp)
+            st1 ands
+        in
+        let stc = shadow (r5_yield st1) let_.pbop_pat in
+        let stc =
+          List.fold_left
+            (fun st (a : Parsetree.binding_op) -> shadow st a.pbop_pat)
+            stc ands
+        in
+        ignore (go stc body : r5_state);
+        st1
+    | _ -> go st e
+  and go st (e : Parsetree.expression) : r5_state =
+    match e.pexp_desc with
+    (* -- lambdas: separate units unless consumed as continuations -- *)
+    | Pexp_fun (_, default, pat, body) ->
+        Hashtbl.replace consumed (fun_key e) ();
+        (match default with Some d -> ignore (go st d : r5_state) | None -> ());
+        ignore (pat : Parsetree.pattern);
+        unit_body body;
+        st
+    | Pexp_function cases ->
+        Hashtbl.replace consumed (fun_key e) ();
+        List.iter (fun (c : Parsetree.case) -> unit_body c.pc_rhs) cases;
+        st
+    (* -- yields -- *)
+    | Pexp_letop { let_; ands; body } ->
+        let st = go st let_.pbop_exp in
+        let st =
+          List.fold_left (fun st (a : Parsetree.binding_op) -> go st a.pbop_exp) st ands
+        in
+        let st = if is_yield_op let_.pbop_op.txt then r5_yield st else st in
+        let st = shadow st let_.pbop_pat in
+        let st =
+          List.fold_left (fun st (a : Parsetree.binding_op) -> shadow st a.pbop_pat) st ands
+        in
+        go st body
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+      when (let p = strip_sim (String.concat "." (Longident.flatten txt)) in
+            p = "Future.bind" || p = "Future.map")
+           && List.length args = 2 -> (
+        match args with
+        | [ (Asttypes.Nolabel, fut); (Asttypes.Nolabel, cont) ] -> (
+            let st1 = go st fut in
+            (* The continuation resumes after a suspension: analyze it in
+               the post-yield state. Code after the whole bind/map runs
+               before the continuation does, so the onward state is the
+               pre-yield one. *)
+            match cont.pexp_desc with
+            | Pexp_fun (_, _, pat, body) ->
+                Hashtbl.replace consumed (fun_key cont) ();
+                let stc = shadow (r5_yield st1) pat in
+                ignore (go stc body : r5_state);
+                st1
+            | _ -> ignore (go st1 cont : r5_state); st1)
+        | _ -> List.fold_left (fun st (_, a) -> go st a) st args)
+    (* -- catch/protect: bodies inlined sequentially -- *)
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+      when (let p = strip_sim (String.concat "." (Longident.flatten txt)) in
+            p = "Future.catch" || p = "Future.protect") ->
+        let inline st (arg : Parsetree.expression) =
+          match arg.pexp_desc with
+          | Pexp_fun (_, _, pat, body) ->
+              Hashtbl.replace consumed (fun_key arg) ();
+              go (shadow st pat) body
+          | _ -> go st arg
+        in
+        List.fold_left (fun st (_, a) -> inline st a) st args
+    (* -- mutable-location events -- *)
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Lident ":="; _ }; _ },
+          [ (Asttypes.Nolabel, lhs); (Asttypes.Nolabel, rhs) ] ) -> (
+        let st = go st rhs in
+        match named_path lhs with
+        | Some key -> write st key e.pexp_loc
+        | None -> go st lhs)
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Lident "!"; _ }; _ },
+          [ (Asttypes.Nolabel, arg) ] ) -> (
+        match named_path arg with
+        | Some key -> read st key
+        | None -> go st arg)
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Lident ("incr" | "decr"); _ }; _ },
+          [ (Asttypes.Nolabel, arg) ] ) -> (
+        (* read-modify-write at one point in time: the read refreshes. *)
+        match named_path arg with
+        | Some key -> write (read st key) key e.pexp_loc
+        | None -> go st arg)
+    | Pexp_field (b, _) -> (
+        match named_path e with
+        | Some key -> read (go st b) key
+        | None -> go st b)
+    | Pexp_setfield (b, { txt; _ }, rhs) -> (
+        let st = go st rhs in
+        let st = go st b in
+        match named_path b with
+        | Some p -> write st (p ^ "." ^ Longident.last txt) e.pexp_loc
+        | None -> st)
+    | Pexp_ident { txt = Lident v; _ } -> use_var st v e.pexp_loc
+    | Pexp_ident _ -> st
+    (* -- bindings: captures and shadowing -- *)
+    | Pexp_let (rf, vbs, body) ->
+        let st =
+          List.fold_left
+            (fun st (vb : Parsetree.value_binding) ->
+              let st = go_rhs st vb.pvb_expr in
+              let st = shadow st vb.pvb_pat in
+              match (rf, vb.pvb_pat.ppat_desc, capture_key vb.pvb_expr) with
+              | Asttypes.Nonrecursive, Ppat_var { txt = v; _ }, Some key ->
+                  {
+                    st with
+                    caps =
+                      SMap.add v
+                        {
+                          cap_loc = key;
+                          cap_line = vb.pvb_loc.loc_start.Lexing.pos_lnum;
+                          cap_stale = false;
+                          cap_reported = false;
+                        }
+                        st.caps;
+                  }
+              | _ -> st)
+            st vbs
+        in
+        go st body
+    (* -- control flow -- *)
+    | Pexp_ifthenelse (c, t_, e_) ->
+        let st0 = go st c in
+        let st1 = go st0 t_ in
+        let st2 = match e_ with Some e_ -> go st0 e_ | None -> st0 in
+        r5_merge st1 st2
+    | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+        let st0 = go st scrut in
+        let branches =
+          List.map
+            (fun (c : Parsetree.case) ->
+              let stc = shadow st0 c.pc_lhs in
+              let stc =
+                match c.pc_guard with Some g -> go stc g | None -> stc
+              in
+              go stc c.pc_rhs)
+            cases
+        in
+        List.fold_left r5_merge st0 branches
+    | Pexp_sequence (a, b) -> go (go st a) b
+    | Pexp_while (c, body) ->
+        let st = go st c in
+        go st body
+    | Pexp_for (pat, lo, hi, _, body) ->
+        let st = go (go st lo) hi in
+        go (shadow st pat) body
+    (* -- plain traversal -- *)
+    | Pexp_apply (fn, args) ->
+        let st = go st fn in
+        List.fold_left (fun st (_, a) -> go st a) st args
+    | Pexp_tuple es | Pexp_array es ->
+        List.fold_left go st es
+    | Pexp_construct (_, Some e) | Pexp_variant (_, Some e) -> go st e
+    | Pexp_construct (_, None) | Pexp_variant (_, None) -> st
+    | Pexp_record (fields, base) ->
+        let st = match base with Some b -> go st b | None -> st in
+        List.fold_left (fun st (_, v) -> go st v) st fields
+    | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> go st e
+    | Pexp_assert e | Pexp_lazy e -> go st e
+    | Pexp_open (_, e) | Pexp_newtype (_, e) -> go st e
+    | Pexp_letmodule (_, _, e) | Pexp_letexception (_, e) -> go st e
+    | _ -> st
+  in
+  (* Every lambda body not consumed as a continuation is one analysis
+     unit; the iterator finds them all (including inside modules). *)
+  let open Ast_iterator in
+  let expr self (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_fun (_, _, _, body) ->
+        if not (Hashtbl.mem consumed (fun_key e)) then begin
+          Hashtbl.replace consumed (fun_key e) ();
+          unit_body body
+        end
+    | Pexp_function cases ->
+        if not (Hashtbl.mem consumed (fun_key e)) then begin
+          Hashtbl.replace consumed (fun_key e) ();
+          List.iter (fun (c : Parsetree.case) -> unit_body c.pc_rhs) cases
+        end
+    | _ -> ());
+    default_iterator.expr self e
+  in
+  let it = { default_iterator with expr } in
   it.structure it ast
 
 let parse ~path src =
@@ -293,24 +827,53 @@ let parse ~path src =
           d_msg = "parse error: " ^ Printexc.to_string exn;
         }
 
-let lint_source ?(whitelist = []) ~path src =
+let lint_source ?(whitelist = []) ?whitelist_used ~path src =
   let path = normalize path in
   let diags = ref [] in
   let supp, supp_errs = scan_suppressions ~path src in
   List.iter (fun d -> diags := d :: !diags) supp_errs;
   let violation rule (loc : Location.t) msg =
-    if applies rule path && not (List.mem (rule, path) whitelist) then begin
-      let line = loc.loc_start.Lexing.pos_lnum in
-      let col = loc.loc_start.Lexing.pos_cnum - loc.loc_start.Lexing.pos_bol in
-      if not (List.exists (fun (l, r) -> l = line && r = rule) supp) then
-        diags :=
-          { d_file = path; d_line = line; d_col = col; d_rule = Some rule; d_msg = msg }
-          :: !diags
+    if applies rule path then begin
+      if List.mem (rule, path) whitelist then (
+        match whitelist_used with Some f -> f (rule, path) | None -> ())
+      else begin
+        let line = loc.loc_start.Lexing.pos_lnum in
+        let col = loc.loc_start.Lexing.pos_cnum - loc.loc_start.Lexing.pos_bol in
+        match
+          List.find_opt
+            (fun s -> s.s_rule = rule && List.mem line s.s_lines)
+            supp
+        with
+        | Some s -> s.s_used <- true
+        | None ->
+            diags :=
+              { d_file = path; d_line = line; d_col = col; d_rule = Some rule; d_msg = msg }
+              :: !diags
+      end
     end
   in
   (match parse ~path src with
   | Error d -> diags := d :: !diags
-  | Ok ast -> walk violation ast);
+  | Ok ast ->
+      walk violation ast;
+      r5_pass violation ast);
+  (* The stale-suppression audit: an allow comment that suppressed nothing
+     is dead — and will silently cover whatever lands on that line next. *)
+  List.iter
+    (fun s ->
+      if not s.s_used then
+        diags :=
+          {
+            d_file = path;
+            d_line = s.s_comment_line;
+            d_col = 0;
+            d_rule = None;
+            d_msg =
+              "stale suppression: allow " ^ rule_name s.s_rule
+              ^ " no longer suppresses any diagnostic; remove it";
+          }
+          :: !diags)
+    supp;
   List.sort
     (fun a b -> compare (a.d_line, a.d_col, a.d_msg) (b.d_line, b.d_col, b.d_msg))
     !diags
@@ -321,6 +884,6 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let lint_file ?whitelist ?as_path path =
+let lint_file ?whitelist ?whitelist_used ?as_path path =
   let logical = match as_path with Some p -> p | None -> path in
-  lint_source ?whitelist ~path:logical (read_file path)
+  lint_source ?whitelist ?whitelist_used ~path:logical (read_file path)

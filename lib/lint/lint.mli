@@ -15,12 +15,25 @@
       in review.
     - {b R4} no [print_*]/[Printf.printf]/[exit] in library code
       ([lib/] only) — use [Trace]/[logs].
+    - {b R5} cross-yield atomicity ([lib/] only): no write to a mutable
+      location whose last read predates a yield point
+      ([let*]/[let+]/[Future.bind]/[Future.map]), and no use of a local
+      that captured such a location's value across a yield — other actors
+      may have run in between (the historical commit_flush-race shape).
+      Re-read after the yield, or suppress with the protecting invariant.
+    - {b R6} future lifecycle ([lib/] only): no discarded [Future.t]s —
+      [ignore (e : _ Future.t)], bare [Future.ignore_result], and
+      statement-/[let _]-position discards of known future-returning calls
+      are flagged. Fire-and-forget goes through [Future.detach ~name];
+      the runtime sanitizer ([fdb_sim swarm --check-leaks]) catches the
+      residue.
 
     Per-line suppressions: [(* fdb-lint: allow R2 -- reason *)] on the
     violating line, or alone on the line above. The reason is mandatory;
-    a suppression without one is itself a diagnostic. *)
+    a suppression without one is itself a diagnostic — and so is a stale
+    one that no longer suppresses anything (the stale-suppression audit). *)
 
-type rule = R1 | R2 | R3 | R4
+type rule = R1 | R2 | R3 | R4 | R5 | R6
 
 val rule_name : rule -> string
 val rule_of_string : string -> rule option
@@ -34,12 +47,17 @@ type diagnostic = {
   d_file : string;  (** repo-relative path *)
   d_line : int;  (** 1-based *)
   d_col : int;  (** 0-based, matching compiler convention *)
-  d_rule : rule option;  (** [None] for tooling errors (parse failure, malformed suppression) *)
+  d_rule : rule option;  (** [None] for tooling errors (parse failure, malformed or stale suppression) *)
   d_msg : string;
 }
 
 val pp_diagnostic : Format.formatter -> diagnostic -> unit
 (** Renders [file:line:col: [RULE] message]. *)
+
+val diagnostics_to_json : diagnostic list -> string
+(** Machine-readable rendering ([fdb_lint --json]): a JSON array of
+    [{"file":…,"line":…,"col":…,"rule":…,"msg":…}] objects, in the same
+    order as the input. Tooling diagnostics render with ["rule":"lint"]. *)
 
 type whitelist = (rule * string) list
 (** Exempt (rule, repo-relative file) pairs. *)
@@ -49,13 +67,25 @@ val parse_whitelist : string -> whitelist
     line, [#] comments and blank lines ignored. Unknown rules raise
     [Failure]. *)
 
-val lint_source : ?whitelist:whitelist -> path:string -> string -> diagnostic list
+val lint_source :
+  ?whitelist:whitelist ->
+  ?whitelist_used:(rule * string -> unit) ->
+  path:string ->
+  string ->
+  diagnostic list
 (** [lint_source ~path src] lints source text [src] as if it lived at
     repo-relative [path] (which decides rule applicability: R2 is waived
-    under [lib/util/], R4 applies only under [lib/]). Diagnostics come back
-    in (line, col) order. *)
+    under [lib/util/], R4/R5/R6 apply only under [lib/]). Diagnostics come
+    back in (line, col) order. [whitelist_used] is invoked once per
+    diagnostic a whitelist entry absorbs — the driver uses it for the
+    stale-whitelist audit (an entry that absorbs nothing is an error). *)
 
-val lint_file : ?whitelist:whitelist -> ?as_path:string -> string -> diagnostic list
+val lint_file :
+  ?whitelist:whitelist ->
+  ?whitelist_used:(rule * string -> unit) ->
+  ?as_path:string ->
+  string ->
+  diagnostic list
 (** Read and lint one file. [as_path] overrides the repo-relative path used
     for rule applicability and reporting (tests lint fixture files as if
     they sat under [lib/]). *)

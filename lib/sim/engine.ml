@@ -109,6 +109,7 @@ let fnv1a_string h s =
   !h
 
 let last_checksum = ref 0L
+let last_lifecycle = ref Future.Lifecycle.empty
 
 let get () =
   match !current with
@@ -119,6 +120,7 @@ let is_running () = Option.is_some !current
 let now () = (get ()).clock
 let trace_checksum () = (get ()).csum
 let last_run_checksum () = !last_checksum
+let last_run_lifecycle () = !last_lifecycle
 let buggify_enabled () = match !current with Some e -> e.buggify | None -> false
 let pending_tasks () = (get ()).heap.Heap.len
 
@@ -238,10 +240,20 @@ let run ?(seed = 1L) ?(max_time = 1e7) ?(buggify = false) f =
   Trace.set_clock (fun () -> e.clock);
   Trace.set_observer (fun kind -> e.csum <- fnv1a_string e.csum kind);
   Buggify.configure ~enabled:buggify ~rng:(Rng.split e.root_rng);
+  (* Promise-lifecycle sanitizer: labeled promises are registered against
+     the process that created them; the report at [finish] convicts the
+     ones still pending with waiters on live processes (leaked wakeups).
+     Pure bookkeeping — the trace checksum is unaffected. *)
+  Future.Lifecycle.enable ~owner:(fun () ->
+      match e.proc_ctx with
+      | Some p -> Some (p, p.Process.incarnation)
+      | None -> None);
   let finish () =
     Buggify.reset ();
     Trace.clear_observer ();
     last_checksum := e.csum;
+    last_lifecycle := Future.Lifecycle.snapshot ();
+    Future.Lifecycle.disable ();
     current := None
   in
   match

@@ -92,3 +92,10 @@ val trace_checksum : unit -> int64
 val last_run_checksum : unit -> int64
 (** Final {!trace_checksum} of the most recently finished {!run}
     (including runs that ended in an exception). *)
+
+val last_run_lifecycle : unit -> Future.Lifecycle.report
+(** Promise-lifecycle report of the most recently finished {!run}: labeled
+    promises still pending with waiters on live processes (leaked wakeups),
+    double-resolve tallies, and detached-future failures. The runtime
+    residue-catcher behind lint rule R6; [fdb_sim swarm --check-leaks]
+    turns a nonzero leak count into a test failure. *)

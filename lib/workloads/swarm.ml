@@ -15,6 +15,7 @@ type report = {
   oracle_failures : string list;
   buggify_points : string list;
   trace_checksum : int64;
+  lifecycle : Future.Lifecycle.report;
 }
 
 let random_config rng =
@@ -243,9 +244,14 @@ let run_one ?(buggify = true) ?(duration = 60.0) ?(dd_movement = false) ~seed ()
           oracle_failures = failures @ metrics_failures;
           buggify_points = Buggify.points_hit ();
           trace_checksum = 0L (* filled in once the run has fully drained *);
+          lifecycle = Future.Lifecycle.empty (* ditto *);
         })
   in
-  { report with trace_checksum = Engine.last_run_checksum () }
+  {
+    report with
+    trace_checksum = Engine.last_run_checksum ();
+    lifecycle = Engine.last_run_lifecycle ();
+  }
 
 (* The paper's own nondeterminism detector: replay the seed and compare
    event-stream checksums — and, with movement on, the shard-map history
@@ -270,4 +276,15 @@ let pp_report fmt r =
     (if r.oracle_failures = [] then "PASS"
      else "FAIL [" ^ String.concat "; " r.oracle_failures ^ "]");
   if r.buggify_points <> [] then
-    Format.fprintf fmt " buggify={%s}" (String.concat "," r.buggify_points)
+    Format.fprintf fmt " buggify={%s}" (String.concat "," r.buggify_points);
+  let lc = r.lifecycle in
+  if Future.Lifecycle.total_leaks lc > 0 then
+    Format.fprintf fmt " leaks={%s}"
+      (String.concat ","
+         (List.map (fun (l, n) -> Printf.sprintf "%s:%d" l n) lc.Future.Lifecycle.lr_leaked));
+  if lc.Future.Lifecycle.lr_detach_failures <> [] then
+    Format.fprintf fmt " detach_failures={%s}"
+      (String.concat ","
+         (List.map
+            (fun (l, n) -> Printf.sprintf "%s:%d" l n)
+            lc.Future.Lifecycle.lr_detach_failures))

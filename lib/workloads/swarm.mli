@@ -25,6 +25,11 @@ type report = {
   trace_checksum : int64;
       (** {!Fdb_sim.Engine.last_run_checksum} of the run: FNV-1a over every
           executed event. Equal seeds must yield equal checksums. *)
+  lifecycle : Fdb_sim.Future.Lifecycle.report;
+      (** {!Fdb_sim.Engine.last_run_lifecycle} of the run: the promise
+          sanitizer's leak / double-resolve / detach-failure tallies.
+          [fdb_sim swarm --check-leaks] fails the run on a nonzero
+          {!Fdb_sim.Future.Lifecycle.total_leaks}. *)
 }
 
 val run_one :

@@ -1,0 +1,9 @@
+(* Fixture: R5 — a local captures a mutable location's value before the
+   yield and is used after it. The local open of the syntax module must
+   not launder the yield point. *)
+
+let apply t =
+  let open Future.Syntax in
+  let v = t.version in
+  let* () = Engine.sleep 1.0 in
+  store t v

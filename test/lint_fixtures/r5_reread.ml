@@ -1,0 +1,26 @@
+(* Fixture: R5 negative — the sanctioned idioms must stay clean. *)
+open Future.Syntax
+
+(* Guard idiom: the guard is read AND written before the yield; the
+   post-yield write follows our own write, not a stale read. *)
+let flush_guarded t =
+  if t.inflight then Future.return ()
+  else begin
+    t.inflight <- true;
+    let* lsn = assign_version t in
+    t.inflight <- false;
+    push_batch t lsn
+  end
+
+(* Re-read idiom: the post-yield decision reads the location again. *)
+let bump_kcv t lsn =
+  let* () = log_commit t lsn in
+  if lsn > t.kcv then t.kcv <- lsn;
+  Future.return ()
+
+(* A captured value is fine once the location has been re-read. *)
+let capture_refreshed t =
+  let v = t.version in
+  let* () = Engine.sleep 1.0 in
+  let current = t.version in
+  store t (min v current)

@@ -1,0 +1,11 @@
+(* Fixture: R5 — the historical commit_flush re-entrancy shape. The
+   in-flight guard is read before the yield and blindly written after it,
+   so a second flush interleaving during the yield passes the guard too. *)
+open Future.Syntax
+
+let flush t =
+  if t.inflight then Future.return ()
+  else
+    let* lsn = assign_version t in
+    t.inflight <- true;
+    push_batch t lsn

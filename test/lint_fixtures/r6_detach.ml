@@ -1,0 +1,7 @@
+(* Fixture: R6 negative — the approved fire-and-forget idiom. *)
+open Future.Syntax
+
+let ok t =
+  Future.detach ~name:"background-flush" (flush t);
+  let* () = Engine.sleep 1.0 in
+  Future.return ()

@@ -1,0 +1,15 @@
+(* Fixture: R6 — lost futures: annotated ignore of a future, the
+   unapproved detach, and let-_/statement-position discards of known
+   future-returning calls. *)
+
+let a () = ignore (Engine.sleep 1.0 : unit Future.t)
+
+let b fut = Future.ignore_result fut
+
+let c t =
+  let _ = Future.map (fetch t) decode in
+  ()
+
+let d () =
+  Engine.sleep 1.0;
+  Future.return ()

@@ -1,0 +1,4 @@
+(* Fixture: the stale-suppression audit — an allow comment that no longer
+   suppresses anything is itself a diagnostic. *)
+(* fdb-lint: allow R2 -- nothing below violates R2 any more *)
+let clean = 42

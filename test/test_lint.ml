@@ -99,6 +99,88 @@ let test_whitelist_rejects_unknown_rule () =
       let (_ : Lint.whitelist) = Lint.parse_whitelist "R9 lib/core/x.ml\n" in
       ())
 
+let golden_json name () =
+  let file = Filename.concat "lint_fixtures" (name ^ ".ml") in
+  let as_path = "lib/lint_fixtures/" ^ name ^ ".ml" in
+  let got = Lint.diagnostics_to_json (Lint.lint_file ~as_path file) ^ "\n" in
+  let want = read_file (Filename.concat "lint_fixtures" (name ^ ".expected.json")) in
+  Alcotest.(check string) (name ^ " json") want got
+
+(* R5 boundary and semantics probed through lint_source directly. *)
+
+let test_r5_lib_only () =
+  let src =
+    "open Future.Syntax\n\
+     let f t = if t.busy then Future.return () else let* v = go t in t.busy <- true; use v\n"
+  in
+  Alcotest.(check int) "R5 applies under lib/" 1
+    (count_rule Lint.R5 (Lint.lint_source ~path:"lib/core/x.ml" src));
+  Alcotest.(check int) "bin/ drivers are exempt" 0
+    (count_rule Lint.R5 (Lint.lint_source ~path:"bin/tool.ml" src))
+
+let test_r5_bind_literal () =
+  (* A literal Future.bind continuation is a yield too — the let* syntax is
+     not the only spelling. *)
+  let src =
+    "let f t =\n\
+    \  if t.busy then Future.return ()\n\
+    \  else Future.bind (go t) (fun v -> t.busy <- true; use v)\n"
+  in
+  Alcotest.(check int) "bind continuation is post-yield" 1
+    (count_rule Lint.R5 (Lint.lint_source ~path:"lib/core/x.ml" src))
+
+let test_r5_ref_cells () =
+  let src =
+    "open Future.Syntax\n\
+     let f r = let seen = !r in let* () = pause () in r := seen + 1; Future.return ()\n"
+  in
+  (* Two reports: the blind write to [r] while stale, and the use of the
+     captured pre-yield value [seen] that feeds it. *)
+  Alcotest.(check int) "ref read-yield-write flags" 2
+    (count_rule Lint.R5 (Lint.lint_source ~path:"lib/core/x.ml" src));
+  let src =
+    "open Future.Syntax\n\
+     let f r = let* () = pause () in incr r; Future.return ()\n"
+  in
+  Alcotest.(check int) "incr is an atomic read-modify-write" 0
+    (count_rule Lint.R5 (Lint.lint_source ~path:"lib/core/x.ml" src))
+
+let test_r5_future_construction_no_yield () =
+  (* Binding a letop future to a name only constructs it; the enclosing
+     function does not suspend. *)
+  let src =
+    "open Future.Syntax\n\
+     let f t =\n\
+    \  match t.cache with\n\
+    \  | Some v -> v\n\
+    \  | None -> let fut = let* x = fetch t in decode x in t.cache <- Some fut; fut\n"
+  in
+  Alcotest.(check int) "future construction is not a yield" 0
+    (count_rule Lint.R5 (Lint.lint_source ~path:"lib/core/x.ml" src))
+
+let test_r6_future_type_only () =
+  let src = "let f x = ignore (count x : int)\n" in
+  Alcotest.(check int) "annotated non-future ignore passes R6" 0
+    (count_rule Lint.R6 (Lint.lint_source ~path:"lib/core/x.ml" src))
+
+let test_whitelist_used_callback () =
+  let wl = Lint.parse_whitelist "R2 lib/core/x.ml\n" in
+  let hits = ref [] in
+  let src = "let f t = Hashtbl.fold (fun _ v a -> v + a) t 0\n" in
+  let (_ : Lint.diagnostic list) =
+    Lint.lint_source ~whitelist:wl
+      ~whitelist_used:(fun e -> hits := e :: !hits)
+      ~path:"lib/core/x.ml" src
+  in
+  Alcotest.(check int) "callback fired once" 1 (List.length !hits);
+  hits := [];
+  let (_ : Lint.diagnostic list) =
+    Lint.lint_source ~whitelist:wl
+      ~whitelist_used:(fun e -> hits := e :: !hits)
+      ~path:"lib/core/clean.ml" "let x = 1\n"
+  in
+  Alcotest.(check int) "no hit on a clean file" 0 (List.length !hits)
+
 let test_explain_covers_all_rules () =
   List.iter
     (fun r ->
@@ -118,6 +200,20 @@ let suite =
     Alcotest.test_case "golden: R4 print" `Quick (golden "r4_print");
     Alcotest.test_case "golden: suppressed" `Quick (golden "suppressed");
     Alcotest.test_case "golden: bad suppression" `Quick (golden "bad_suppression");
+    Alcotest.test_case "golden: R5 stale write" `Quick (golden "r5_stale_write");
+    Alcotest.test_case "golden: R5 stale capture" `Quick (golden "r5_capture");
+    Alcotest.test_case "golden: R5 re-read idiom clean" `Quick (golden "r5_reread");
+    Alcotest.test_case "golden: R6 discards" `Quick (golden "r6_discard");
+    Alcotest.test_case "golden: R6 detach clean" `Quick (golden "r6_detach");
+    Alcotest.test_case "golden: stale suppression" `Quick (golden "stale_suppression");
+    Alcotest.test_case "golden: R6 json" `Quick (golden_json "r6_discard");
+    Alcotest.test_case "R5 lib only" `Quick test_r5_lib_only;
+    Alcotest.test_case "R5 literal bind" `Quick test_r5_bind_literal;
+    Alcotest.test_case "R5 ref cells" `Quick test_r5_ref_cells;
+    Alcotest.test_case "R5 construction is not a yield" `Quick
+      test_r5_future_construction_no_yield;
+    Alcotest.test_case "R6 future types only" `Quick test_r6_future_type_only;
+    Alcotest.test_case "whitelist-used callback" `Quick test_whitelist_used_callback;
     Alcotest.test_case "R1 det_rng exemption" `Quick test_r1_det_rng_exempt;
     Alcotest.test_case "R2 lib/util exemption" `Quick test_r2_util_exempt;
     Alcotest.test_case "R4 library only" `Quick test_r4_library_only;

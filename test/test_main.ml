@@ -27,5 +27,6 @@ let () =
       ("crash-consistency", Test_crash_consistency.suite);
       ("types", Test_types.suite);
       ("lint", Test_lint.suite);
+      ("sanitizer", Test_sanitizer.suite);
       ("determinism", Test_determinism.suite);
     ]
