@@ -12,8 +12,10 @@ open Cmdliner
 let leak_count (r : Fdb_workloads.Swarm.report) =
   Fdb_sim.Future.Lifecycle.total_leaks r.Fdb_workloads.Swarm.lifecycle
 
-let run_seed ~buggify ~duration ~dd_movement ~trace ~check_leaks seed =
-  let report = Fdb_workloads.Swarm.run_one ~buggify ~duration ~dd_movement ~seed () in
+let run_seed ~buggify ~duration ~dd_movement ~layers ~trace ~check_leaks seed =
+  let report =
+    Fdb_workloads.Swarm.run_one ~buggify ~duration ~dd_movement ~layers ~seed ()
+  in
   Format.printf "%a@." Fdb_workloads.Swarm.pp_report report;
   if trace && report.Fdb_workloads.Swarm.oracle_failures <> [] then
     Fdb_sim.Trace.dump Format.std_formatter ();
@@ -62,14 +64,25 @@ let swarm_cmd =
              processes at simulation end (the runtime backstop behind lint \
              rule R6).")
   in
-  let action seeds start duration no_buggify check_det dd_movement check_leaks =
+  let layers =
+    Arg.(
+      value & flag
+      & info [ "layers" ]
+          ~doc:
+            "Add the layer-ecosystem soak: directory-housed record stores \
+             with transactional secondary indexes plus a watch-driven job \
+             queue, checked by the index-consistency and exactly-once \
+             oracles.")
+  in
+  let action seeds start duration no_buggify check_det dd_movement layers check_leaks =
     let buggify = not no_buggify in
     let failures = ref 0 in
     for s = start to start + seeds - 1 do
       let seed = Int64.of_int s in
       if check_det then begin
         match
-          Fdb_workloads.Swarm.check_determinism ~buggify ~duration ~dd_movement ~seed ()
+          Fdb_workloads.Swarm.check_determinism ~buggify ~duration ~dd_movement
+            ~layers ~seed ()
         with
         | Ok report ->
             let leaks = if check_leaks then leak_count report else 0 in
@@ -86,7 +99,9 @@ let swarm_cmd =
             incr failures
       end
       else if
-        not (run_seed ~buggify ~duration ~dd_movement ~trace:false ~check_leaks seed)
+        not
+          (run_seed ~buggify ~duration ~dd_movement ~layers ~trace:false
+             ~check_leaks seed)
       then incr failures
     done;
     Printf.printf "%d/%d runs passed all oracles.\n" (seeds - !failures) seeds;
@@ -96,7 +111,7 @@ let swarm_cmd =
     (Cmd.info "swarm" ~doc:"Run many randomized fault-injection simulations.")
     Term.(
       const action $ seeds $ start $ duration $ no_buggify $ check_det $ dd_movement
-      $ check_leaks)
+      $ layers $ check_leaks)
 
 let run_cmd =
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.") in
@@ -112,22 +127,28 @@ let run_cmd =
   let dd_movement =
     Arg.(value & flag & info [ "dd-movement" ] ~doc:"Enable active data distribution.")
   in
+  let layers =
+    Arg.(
+      value & flag
+      & info [ "layers" ] ~doc:"Add the layer-ecosystem soak and its oracles.")
+  in
   let check_leaks =
     Arg.(
       value & flag
       & info [ "check-leaks" ] ~doc:"Fail on leaked promises at simulation end.")
   in
-  let action seed duration trace no_buggify dd_movement check_leaks =
+  let action seed duration trace no_buggify dd_movement layers check_leaks =
     if
       not
-        (run_seed ~buggify:(not no_buggify) ~duration ~dd_movement ~trace ~check_leaks
-           (Int64.of_int seed))
+        (run_seed ~buggify:(not no_buggify) ~duration ~dd_movement ~layers ~trace
+           ~check_leaks (Int64.of_int seed))
     then exit 1
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run (or replay) a single seeded simulation.")
     Term.(
-      const action $ seed $ duration $ trace $ no_buggify $ dd_movement $ check_leaks)
+      const action $ seed $ duration $ trace $ no_buggify $ dd_movement $ layers
+      $ check_leaks)
 
 let status_cmd =
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.") in

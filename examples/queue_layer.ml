@@ -1,35 +1,70 @@
 (* Durable job queue built on versionstamped keys (paper §2.6 and §6.4's
-   TaskBucket pattern): producers append jobs under commit-version-ordered
-   keys without conflicting with each other; consumers atomically claim the
-   head. Versionstamps give a total, commit-order-consistent enqueue order
-   with zero coordination.
+   TaskBucket pattern), now layered on Directory/Subspace and driven by
+   watches instead of polling: producers append jobs under
+   commit-version-ordered keys and bump a signal key in the same
+   transaction; an idle consumer arms a watch on the signal key inside the
+   very transaction that observed the queue empty — so a job enqueued at
+   any later commit version is guaranteed to wake it (registration-time
+   catch-up on the storage server), and an idle queue costs zero range
+   reads.
 
-   Data model:
-     queue/<10-byte versionstamp> = payload
+   Data model (inside the directory ["examples"; "queue"]):
+     items:  ("items", <10-byte versionstamp>) = payload
+     signal: ("signal",)  -- atomic-add bumped by every enqueue
+     stop:   ("stop",)    -- set once producers are done
 
      dune exec examples/queue_layer.exe *)
 
 open Fdb_sim
 open Fdb_core
 open Future.Syntax
+module Subspace = Fdb_layers.Subspace
+module Directory = Fdb_layers.Directory
 
-let enqueue db payload =
+type q = { items : Subspace.t; signal_key : string; stop_key : string }
+
+let open_queue db =
+  Client.run db (fun tx ->
+      let* dir = Directory.create_or_open tx [ "examples"; "queue" ] in
+      Future.return
+        {
+          items = Subspace.sub dir [ Tuple.String "items" ];
+          signal_key = Subspace.pack dir [ Tuple.String "signal" ];
+          stop_key = Subspace.pack dir [ Tuple.String "stop" ];
+        })
+
+let enqueue db q payload =
   Client.run db (fun tx ->
       Client.set_versionstamped_key tx
-        ~template:("queue/" ^ Client.versionstamp_placeholder)
-        ~offset:6 ~value:payload;
+        ~template:(Subspace.prefix q.items ^ Client.versionstamp_placeholder)
+        ~offset:(String.length (Subspace.prefix q.items))
+        ~value:payload;
+      (* The watched key: one conflict-free bump per enqueue. *)
+      Client.atomic_op tx Fdb_kv.Mutation.Add q.signal_key
+        (Fdb_layers.Index.le64 1L);
       Future.return ())
 
-(* Claim-and-remove the head job. Two racing consumers conflict on the head
-   key and one retries onto the next job — classic OCC. *)
-let dequeue db =
+(* One claim attempt. Two racing consumers conflict on the head key and
+   one retries onto the next job — classic OCC. An empty queue arms a
+   watch on the signal key in the SAME transaction that observed
+   emptiness: an enqueue committing at any later version must change the
+   signal key, so the wakeup cannot be lost. *)
+let try_claim db q =
   Client.run db (fun tx ->
-      let* head = Client.get_range tx ~limit:1 ~from:"queue/" ~until:"queue0" () in
-      match head with
-      | [] -> Future.return None
+      let* head =
+        Client.range tx (Subspace.query ~limit:1 ~mode:(`Exact 1) q.items ())
+      in
+      match head.Client.batch_rows with
       | (k, payload) :: _ ->
           Client.clear tx k;
-          Future.return (Some payload))
+          Future.return (`Job payload)
+      | [] -> (
+          let* stopped = Client.get tx q.stop_key in
+          match stopped with
+          | Some _ -> Future.return `Stop
+          | None ->
+              let w = Client.watch tx q.signal_key in
+              Future.return (`Wait w)))
 
 let () =
   Engine.run (fun () ->
@@ -38,36 +73,76 @@ let () =
       let producer_db = Cluster.client cluster ~name:"producer" in
       let consumer_a = Cluster.client cluster ~name:"consumer-a" in
       let consumer_b = Cluster.client cluster ~name:"consumer-b" in
+      let* q = open_queue producer_db in
 
-      (* Two producers interleave; versionstamps order the queue by commit. *)
-      let produce db who n =
-        let rec go i =
-          if i > n then Future.return ()
-          else
-            let* () = enqueue db (Printf.sprintf "%s-job%d" who i) in
-            go (i + 1)
-        in
-        go 1
-      in
-      let p1 = produce producer_db "red" 4 in
-      let* () = p1 in
-      let* () = produce producer_db "blue" 3 in
-      Printf.printf "enqueued 7 jobs\n";
-
-      (* Two consumers drain concurrently; each job is delivered once. *)
       let drained = ref [] in
       let consume db who =
         let rec go () =
-          let* job = dequeue db in
-          match job with
-          | None -> Future.return ()
-          | Some payload ->
+          let* r = try_claim db q in
+          match r with
+          | `Job payload ->
               drained := (who, payload) :: !drained;
+              go ()
+          | `Stop -> Future.return ()
+          | `Wait w ->
+              (* Park until an enqueue bumps the signal key — no polling. *)
+              let* () = Client.watch_future w in
               go ()
         in
         go ()
       in
+
+      let produce db who n =
+        let rec go i =
+          if i > n then Future.return ()
+          else
+            let* () = enqueue db q (Printf.sprintf "%s-job%d" who i) in
+            go (i + 1)
+        in
+        go 1
+      in
+
       let c1 = consume consumer_a "A" and c2 = consume consumer_b "B" in
+
+      (* Phase 1: four jobs; wait until the consumers drain them. *)
+      let* () = produce producer_db "red" 4 in
+      let rec wait_for n =
+        if List.length !drained >= n then Future.return ()
+        else
+          let* () = Engine.sleep 0.2 in
+          wait_for n
+      in
+      let* () = wait_for 4 in
+
+      (* Phase 2: the queue idles with both consumers parked on watches.
+         Watch long-polls are not range reads: the storage-side range
+         request counter must not move. *)
+      let metrics = Cluster.metrics cluster in
+      let range_reqs () =
+        Fdb_obs.Registry.sum_counter metrics ~role:Fdb_obs.Registry.Storage
+          "range_requests"
+      in
+      let* () = Engine.sleep 1.0 in
+      let idle0 = range_reqs () in
+      let* () = Engine.sleep 10.0 in
+      let idle1 = range_reqs () in
+      Printf.printf "storage range requests over 10 idle seconds: %d\n"
+        (idle1 - idle0);
+      assert (idle1 - idle0 = 0);
+
+      (* Phase 3: more jobs — the watches fire and consumption resumes. *)
+      let* () = produce producer_db "blue" 3 in
+      let* () = wait_for 7 in
+
+      (* Shut down: the stop marker and a signal bump ride one transaction
+         so parked consumers wake, see stop, and exit. *)
+      let* () =
+        Client.run producer_db (fun tx ->
+            Client.set tx q.stop_key "done";
+            Client.atomic_op tx Fdb_kv.Mutation.Add q.signal_key
+              (Fdb_layers.Index.le64 1L);
+            Future.return ())
+      in
       let* () = c1 and* () = c2 in
       let jobs = List.rev !drained in
       List.iter (fun (who, p) -> Printf.printf "consumer %s got %s\n" who p) jobs;

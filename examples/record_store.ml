@@ -1,11 +1,12 @@
 (* A miniature Record-Layer-flavored store (paper §1 cites the
    FoundationDB Record Layer as the flagship layer): typed records keyed
-   by tuple-encoded primary keys, plus a tuple-encoded secondary index —
-   showing why order-preserving tuples are the layer-building primitive.
+   by tuple-encoded primary keys plus a declared secondary index, riding
+   the Subspace and Index layers — order-preserving tuples remain the
+   layer-building primitive, but the key plumbing and index maintenance
+   are the layer's job now.
 
-   Key space:
-     ("temps", city, unix_day)        -> reading (float, tuple-encoded)
-     ("idx", "by_day", unix_day, city) -> ""
+   Records: pkey = pack (city, unix_day), value = pack (celsius).
+   Index "by_day": (day, city), maintained transactionally by the layer.
 
      dune exec examples/record_store.exe *)
 
@@ -13,56 +14,78 @@ open Fdb_sim
 open Fdb_core
 open Future.Syntax
 module T = Tuple
+module Subspace = Fdb_layers.Subspace
+module Directory = Fdb_layers.Directory
+module Index = Fdb_layers.Index
 
-let record_key city day = T.pack [ T.String "temps"; T.String city; T.Int (Int64.of_int day) ]
-let index_key day city = T.pack [ T.String "idx"; T.String "by_day"; T.Int (Int64.of_int day); T.String city ]
+let pkey city day = T.pack [ T.String city; T.Int (Int64.of_int day) ]
 
-let insert db ~city ~day ~celsius =
+let defs =
+  [
+    Index.Value
+      {
+        name = "by_day";
+        extract =
+          (fun ~pkey ~value:_ ->
+            match T.unpack pkey with
+            | [ T.String city; T.Int day ] -> [ [ T.Int day; T.String city ] ]
+            | _ -> []);
+      };
+  ]
+
+let open_store db =
   Client.run db (fun tx ->
-      Client.set tx (record_key city day) (T.pack [ T.Float celsius ]);
-      Client.set tx (index_key day city) "";
-      Future.return ())
+      let* dir = Directory.create_or_open tx [ "examples"; "temps" ] in
+      Future.return (Index.create dir defs))
+
+let insert db store ~city ~day ~celsius =
+  Client.run db (fun tx ->
+      Index.set store tx (pkey city day) (T.pack [ T.Float celsius ]))
 
 (* Range scan over one city's history: tuple prefixes make this a single
-   ordered range read, with days coming back in numeric order even though
-   keys are raw bytes. *)
-let history db ~city =
+   ordered range read over the record subspace, with days coming back in
+   numeric order even though keys are raw bytes. *)
+let history db store ~city =
   Client.run db (fun tx ->
-      let from, until = T.range [ T.String "temps"; T.String city ] in
-      let* rows = Client.get_range tx ~from ~until () in
+      let* rows = Index.scan store tx in
       Future.return
-        (List.map
+        (List.filter_map
            (fun (k, v) ->
              match (T.unpack k, T.unpack v) with
-             | [ _; _; T.Int day ], [ T.Float c ] -> (Int64.to_int day, c)
-             | _ -> failwith "corrupt record")
+             | [ T.String c; T.Int day ], [ T.Float temp ] when c = city ->
+                 Some (Int64.to_int day, temp)
+             | _ -> None)
            rows))
 
-let cities_measured_on db ~day =
+let cities_measured_on db store ~day =
   Client.run db (fun tx ->
-      let from, until = T.range [ T.String "idx"; T.String "by_day"; T.Int (Int64.of_int day) ] in
-      let* rows = Client.get_range tx ~from ~until () in
+      let* pkeys =
+        Index.lookup store tx ~index:"by_day" ~entry:[ T.Int (Int64.of_int day) ]
+      in
       Future.return
-        (List.map
-           (fun (k, _) ->
+        (List.filter_map
+           (fun k ->
              match T.unpack k with
-             | [ _; _; _; T.String city ] -> city
-             | _ -> failwith "corrupt index")
-           rows))
+             | [ T.String city; T.Int _ ] -> Some city
+             | _ -> None)
+           pkeys))
 
 let () =
   Engine.run (fun () ->
       let cluster = Cluster.create () in
       let* () = Cluster.wait_ready cluster in
       let db = Cluster.client cluster ~name:"records" in
-      let* () = insert db ~city:"oslo" ~day:19_000 ~celsius:(-3.5) in
-      let* () = insert db ~city:"oslo" ~day:19_001 ~celsius:(-1.0) in
-      let* () = insert db ~city:"oslo" ~day:19_002 ~celsius:2.25 in
-      let* () = insert db ~city:"lima" ~day:19_001 ~celsius:24.0 in
-      let* oslo = history db ~city:"oslo" in
+      let* store = open_store db in
+      let* () = insert db store ~city:"oslo" ~day:19_000 ~celsius:(-3.5) in
+      let* () = insert db store ~city:"oslo" ~day:19_001 ~celsius:(-1.0) in
+      let* () = insert db store ~city:"oslo" ~day:19_002 ~celsius:2.25 in
+      let* () = insert db store ~city:"lima" ~day:19_001 ~celsius:24.0 in
+      let* oslo = history db store ~city:"oslo" in
       Printf.printf "oslo history:\n";
       List.iter (fun (d, c) -> Printf.printf "  day %d: %+.2f C\n" d c) oslo;
-      let* cities = cities_measured_on db ~day:19_001 in
+      let* cities = cities_measured_on db store ~day:19_001 in
       Printf.printf "cities measured on day 19001: %s\n" (String.concat ", " cities);
       assert (List.map fst oslo = [ 19_000; 19_001; 19_002 ]);
+      let* issues = Client.run db (fun tx -> Index.verify store tx) in
+      assert (issues = []);
       Future.return ())

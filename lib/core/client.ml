@@ -138,6 +138,12 @@ type buffered =
   | B_clear
   | B_atomic of (Mutation.atomic_kind * string) list (* application order *)
 
+type watch = {
+  wt_key : string;
+  wt_future : unit Future.t;
+  wt_promise : unit Future.promise;
+}
+
 type tx = {
   db : db;
   mutable options : tx_options;
@@ -150,6 +156,7 @@ type tx = {
   mutable bytes : int;
   mutable read_bytes : int;
   mutable commit_result : Types.version Future.t option;
+  mutable tx_watches : watch list; (* reversed; armed at successful commit *)
 }
 
 let begin_tx ?(options = default_options) db =
@@ -165,6 +172,7 @@ let begin_tx ?(options = default_options) db =
     bytes = 0;
     read_bytes = 0;
     commit_result = None;
+    tx_watches = [];
   }
 
 let set_option t options = t.options <- options
@@ -600,9 +608,6 @@ let get_range_resolved ?(snapshot = false) ?(limit = 1000) ?(reverse = false)
     loop ~from ~until [] 0
   end
 
-let get_range ?snapshot ?limit ?reverse ?mode t ~from ~until () =
-  get_range_resolved ?snapshot ?limit ?reverse ?mode t ~from ~until ()
-
 (* ---------- key-selector resolution ---------- *)
 
 (* Normalize a selector into a walk: [`Forward] finds the [need]-th key
@@ -723,50 +728,119 @@ let resolve_endpoint t snap (sel : Key_selector.t) =
 
 let clamp_key k = if k > Types.key_space_end then Types.key_space_end else k
 
-let get_range_sel ?(snapshot = false) ?(limit = 1000) ?(reverse = false)
-    ?(mode = `Want_all) t ~from ~until () =
-  check_not_committed t;
-  let* snap = snapshot_info t in
-  let* lo = resolve_endpoint t snap from in
-  let* hi = resolve_endpoint t snap until in
-  let lo = clamp_key lo and hi = clamp_key hi in
-  if lo >= hi then Future.return []
-  else begin
-    if not snapshot then add_read_conflict_range t ~from:lo ~until:hi;
-    get_range_resolved ~snapshot:true ~limit ~reverse ~mode t ~from:lo ~until:hi ()
-  end
-
-(* ---------- streaming range reads ---------- *)
+(* ---------- the unified range API ---------- *)
 
 type batch = {
   batch_rows : (string * string) list;
   batch_continuation : string option;
 }
 
+(* Clamp already-concrete bounds to a continuation cursor. *)
+let apply_continuation ~reverse ~continuation (from, until) =
+  match continuation with
+  | None -> (from, until)
+  | Some c -> if reverse then (from, min c until) else (max c from, until)
+
+(* Budgets of one streaming batch; the row budget is additionally capped by
+   the query's overall row limit. *)
+let stream_budgets (q : Range_query.t) =
+  match q.rq_mode with
+  | `Want_all -> (min 1_000_000 q.rq_limit, Params.range_bytes_want_all)
+  | `Iterator ->
+      (min Params.range_rows_per_batch q.rq_limit, !Params.range_bytes_per_req)
+  | `Exact n -> (min (max 1 n) q.rq_limit, Params.range_bytes_want_all)
+
+(* One bounded batch of the query — the streaming building block. Concrete
+   (plain-key) bounds skip endpoint resolution entirely; selector bounds
+   resolve both endpoints at the snapshot first. Each batch adds a read
+   conflict only over the span it actually observed. *)
+let range t (q : Range_query.t) =
+  check_not_committed t;
+  let batch_of ~from ~until =
+    if from >= until then
+      Future.return { batch_rows = []; batch_continuation = None }
+    else
+      let* snap = snapshot_info t in
+      let row_limit, byte_limit = stream_budgets q in
+      let* rows, continuation =
+        read_merged t ~snap ~from ~until ~reverse:q.rq_reverse ~row_limit
+          ~byte_limit ~conflict:(not q.rq_snapshot)
+      in
+      Future.return { batch_rows = rows; batch_continuation = continuation }
+  in
+  match Range_query.trivial_bounds q with
+  | Some (from, until) ->
+      if until > Types.key_space_end then
+        raise (Error.Fdb Error.Key_outside_legal_range);
+      let from, until =
+        apply_continuation ~reverse:q.rq_reverse
+          ~continuation:q.rq_continuation (from, until)
+      in
+      batch_of ~from ~until
+  | None ->
+      let* snap = snapshot_info t in
+      let* lo = resolve_endpoint t snap q.rq_begin in
+      let* hi = resolve_endpoint t snap q.rq_end in
+      let lo = clamp_key lo and hi = clamp_key hi in
+      let lo, hi =
+        apply_continuation ~reverse:q.rq_reverse ~continuation:q.rq_continuation
+          (lo, hi)
+      in
+      batch_of ~from:lo ~until:hi
+
+(* Drain the query to a list: loop batches, stitching continuations, until
+   the range is exhausted or [rq_limit] rows are in hand. Concrete bounds
+   reduce to exactly the pre-unification [get_range] path; selector bounds
+   resolve once and conflict on the whole resolved span, as the selector
+   form always did. *)
+let range_all t (q : Range_query.t) =
+  check_not_committed t;
+  match Range_query.trivial_bounds q with
+  | Some (from, until) ->
+      let from, until =
+        apply_continuation ~reverse:q.rq_reverse
+          ~continuation:q.rq_continuation (from, until)
+      in
+      get_range_resolved ~snapshot:q.rq_snapshot ~limit:q.rq_limit
+        ~reverse:q.rq_reverse ~mode:q.rq_mode t ~from ~until ()
+  | None ->
+      let* snap = snapshot_info t in
+      let* lo = resolve_endpoint t snap q.rq_begin in
+      let* hi = resolve_endpoint t snap q.rq_end in
+      let lo = clamp_key lo and hi = clamp_key hi in
+      let lo, hi =
+        apply_continuation ~reverse:q.rq_reverse ~continuation:q.rq_continuation
+          (lo, hi)
+      in
+      if lo >= hi then Future.return []
+      else begin
+        if not q.rq_snapshot then add_read_conflict_range t ~from:lo ~until:hi;
+        get_range_resolved ~snapshot:true ~limit:q.rq_limit
+          ~reverse:q.rq_reverse ~mode:q.rq_mode t ~from:lo ~until:hi ()
+      end
+
+(* ---------- legacy range entry points (thin wrappers) ---------- *)
+
+let get_range ?snapshot ?limit ?reverse ?mode t ~from ~until () =
+  range_all t (Range_query.keys ?limit ?mode ?reverse ?snapshot ~from ~until ())
+
+(* The selector form historically clamped concrete (no-offset) endpoint
+   keys into the legal key space instead of raising. *)
+let clamp_trivial (s : Key_selector.t) =
+  if (not s.sel_or_equal) && s.sel_offset = 1 && s.sel_key > Types.key_space_end
+  then { s with Message.sel_key = Types.key_space_end }
+  else s
+
+let get_range_sel ?snapshot ?limit ?reverse ?mode t ~from ~until () =
+  range_all t
+    (Range_query.create ?limit ?mode ?reverse ?snapshot
+       ~begin_:(clamp_trivial from) ~end_:(clamp_trivial until) ())
+
 let get_range_stream ?(snapshot = false) ?(reverse = false) ?(mode = `Iterator)
     ?continuation t ~from ~until () =
-  check_not_committed t;
-  if until > Types.key_space_end then
-    raise (Error.Fdb Error.Key_outside_legal_range);
-  let from, until =
-    match continuation with
-    | None -> (from, until)
-    | Some c -> if reverse then (from, min c until) else (max c from, until)
-  in
-  if from >= until then Future.return { batch_rows = []; batch_continuation = None }
-  else
-    let* snap = snapshot_info t in
-    let row_limit, byte_limit =
-      match mode with
-      | `Want_all -> (1_000_000, Params.range_bytes_want_all)
-      | `Iterator -> (Params.range_rows_per_batch, !Params.range_bytes_per_req)
-      | `Exact n -> (max 1 n, Params.range_bytes_want_all)
-    in
-    let* rows, continuation =
-      read_merged t ~snap ~from ~until ~reverse ~row_limit ~byte_limit
-        ~conflict:(not snapshot)
-    in
-    Future.return { batch_rows = rows; batch_continuation = continuation }
+  range t
+    (Range_query.keys ~limit:max_int ~mode ~reverse ~snapshot ?continuation
+       ~from ~until ())
 
 (* ---------- writes ---------- *)
 
@@ -913,13 +987,135 @@ let do_commit t =
         | _ -> Error.fail Error.Commit_unknown_result)
   end
 
+(* ---------- watches ---------- *)
+
+(* A watch is created inside a transaction and armed only if that
+   transaction commits: the semantics are "wake me when [key] changes
+   after the state this transaction observed/produced". Spurious wakes are
+   allowed (the waiter re-reads and re-arms); lost wakes are not. *)
+
+let watch t key =
+  check_not_committed t;
+  check_key key;
+  let wt_future, wt_promise = Future.make ~label:"client.watch" () in
+  let w = { wt_key = key; wt_future; wt_promise } in
+  t.tx_watches <- w :: t.tx_watches;
+  w
+
+let watch_future w = w.wt_future
+let watch_key w = w.wt_key
+
+let cancel_watch w =
+  ignore (Future.try_break w.wt_promise (Future.Cancelled "client.watch") : bool)
+
+(* Long-poll one watch until it fires or is cancelled. Each round
+   re-registers from the version the previous server reply vouched for, so
+   the registration never goes stale on a healthy server (the server's
+   poll window sits well inside the MVCC window). [Wrong_shard] re-resolves
+   against the live shard map and re-registers on the new owner, whose
+   registration-time catch-up covers changes that landed during the move.
+   [Transaction_too_old] means no server can prove the key unchanged since
+   [version]: fire conservatively. *)
+let rec watch_poll db w ~version ~epoch =
+  if Future.is_resolved w.wt_future then Future.return ()
+  else
+    let team = Shard_map.team_for_key db.ctx.Context.shard_map w.wt_key in
+    let* next =
+      Future.catch
+        (fun () ->
+          let* reply =
+            with_failover db ~team (fun ss ->
+                let ep = db.ctx.Context.storage_eps.(ss) in
+                let* r =
+                  Context.rpc db.ctx
+                    ~timeout:(!Params.watch_poll_timeout +. 1.0)
+                    ~from:db.proc ep
+                    (Message.Ss_watch
+                       { w_key = w.wt_key; w_version = version; w_epoch = epoch })
+                in
+                match r with
+                | Message.Ss_watch_reply { wr_fired; wr_version } ->
+                    Future.return (wr_fired, wr_version)
+                | _ -> Future.fail (Error.Fdb Error.Timed_out))
+          in
+          match reply with
+          | true, v ->
+              Trace.emit "client_watch_fire"
+                [ ("key", String.escaped w.wt_key); ("v", Int64.to_string v) ];
+              ignore (Future.try_fulfill w.wt_promise () : bool);
+              Future.return None
+          | false, v -> Future.return (Some v))
+        (function
+          | Error.Fdb Error.Wrong_shard ->
+              Trace.emit "client_watch_re_resolve"
+                [ ("key", String.escaped w.wt_key) ];
+              let* () = Engine.sleep 0.05 in
+              Future.return (Some version)
+          | Error.Fdb Error.Transaction_too_old ->
+              Trace.emit "client_watch_conservative_fire"
+                [ ("key", String.escaped w.wt_key) ];
+              ignore (Future.try_fulfill w.wt_promise () : bool);
+              Future.return None
+          | Error.Fdb _ ->
+              (* Transient storage trouble (lagging replica, recovery,
+                 timeouts): back off and re-register from the same version. *)
+              let* () = Engine.sleep (0.1 +. Engine.random_float 0.2) in
+              Future.return (Some version)
+          | e -> Future.fail e)
+    in
+    match next with
+    | None -> Future.return ()
+    | Some version -> watch_poll db w ~version ~epoch
+
+(* Arm the transaction's watches off the commit outcome. Runs only when
+   the transaction actually created watches, so transactions that don't
+   use the layer keep byte-identical schedules. The watch version is
+   max(read version, commit version): the transaction's own write to the
+   watched key must not wake it, and neither may anything it already
+   observed. *)
+let arm_watches t commit_future =
+  Future.on_resolve commit_future (function
+    | Ok commit_version ->
+        let read_version, epoch =
+          match t.read_version with
+          | Some rvf -> (
+              match Future.peek rvf with Some (v, e) -> (v, e) | None -> (0L, 0))
+          | None -> (0L, 0)
+        in
+        let version =
+          if commit_version > read_version then commit_version else read_version
+        in
+        List.iter
+          (fun w ->
+            if not (Future.is_resolved w.wt_future) then
+              Engine.spawn ~process:t.db.proc "client-watch" (fun () ->
+                  watch_poll t.db w ~version ~epoch))
+          (List.rev t.tx_watches)
+    | Error _ ->
+        List.iter
+          (fun w ->
+            ignore
+              (Future.try_break w.wt_promise (Future.Cancelled "client.watch")
+                : bool))
+          (List.rev t.tx_watches))
+
 let commit t =
   match t.commit_result with
   | Some f -> f
   | None ->
       let f = do_commit t in
       t.commit_result <- Some f;
+      if t.tx_watches <> [] then arm_watches t f;
       f
+
+(* ---------- unified error reporting ---------- *)
+
+(* Every failure the client surfaces is an [Error.Fdb] carrying a typed
+   [Error.t]; anything else (engine-internal exceptions, programming
+   errors) is not a transaction outcome and must not be retried. *)
+let classify_exn : exn -> Error.t option = function
+  | Error.Fdb e -> Some e
+  | _ -> None
 
 (* ---------- retry loop ---------- *)
 
@@ -953,8 +1149,9 @@ let run db ?max_attempts ?options f =
                 | e -> Future.fail e)
     in
     Future.catch guarded
-      (function
-        | Error.Fdb e
+      (fun exn ->
+        match classify_exn exn with
+        | Some e
           when Error.is_retryable e && n < retry_limit
                && (match deadline with
                   | None -> true
@@ -962,6 +1159,36 @@ let run db ?max_attempts ?options f =
             let delay = Float.min backoff 1.0 +. Engine.random_float 0.05 in
             let* () = Engine.sleep delay in
             attempt (n + 1) (backoff *. 2.0)
-        | e -> Future.fail e)
+        | _ -> Future.fail exn)
   in
   attempt 1 0.01
+
+(* Re-export of the typed error surface under the client's own name, so
+   layer code (and applications) can classify outcomes without reaching
+   into the core error module: [Client.Error.classify] turns any exception
+   a transaction raised into [Some err], and [Client.Error.retryable] is
+   the single authority [run] keys its retry decision off. *)
+module Error = struct
+  type t = Error.t =
+    | Not_committed
+    | Commit_unknown_result
+    | Transaction_too_old
+    | Future_version
+    | Process_behind
+    | Wrong_shard
+    | Timed_out
+    | Database_locked
+    | Key_too_large
+    | Value_too_large
+    | Transaction_too_large
+    | Key_outside_legal_range
+    | Used_during_commit
+    | Wrong_epoch
+    | Internal of string
+
+  let retryable = Error.is_retryable
+  let classify = classify_exn
+  let to_string = Error.to_string
+  let pp = Error.pp
+  let fail = Error.fail
+end

@@ -17,7 +17,42 @@ type db
 type tx
 
 (** All failures surface as the [Error.Fdb] exception carrying a typed
-    {!Error.t}. *)
+    {!Error.t}; {!Error.classify} recovers the typed error from any
+    exception a transaction raised. *)
+
+module Error : sig
+  type t = Error.t =
+    | Not_committed
+    | Commit_unknown_result
+    | Transaction_too_old
+    | Future_version
+    | Process_behind
+    | Wrong_shard
+    | Timed_out
+    | Database_locked
+    | Key_too_large
+    | Value_too_large
+    | Transaction_too_large
+    | Key_outside_legal_range
+    | Used_during_commit
+    | Wrong_epoch
+    | Internal of string
+  (** The one transaction-error variant, re-exported so applications and
+      layers can program against [Client.Error] alone. *)
+
+  val retryable : t -> bool
+  (** May {!run} retry the transaction from the top? The single authority
+      the retry loop keys off. *)
+
+  val classify : exn -> t option
+  (** [Some err] when the exception is a typed transaction outcome;
+      [None] for anything else (engine internals, programming errors),
+      which {!run} never retries. *)
+
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+  val fail : t -> 'a Fdb_sim.Future.t
+end
 
 val create_db : Context.t -> Fdb_sim.Process.t -> db
 (** A database handle for a client living on the given process (the
@@ -94,6 +129,34 @@ val get_key : ?snapshot:bool -> tx -> Key_selector.t -> string Fdb_sim.Future.t
 (** Resolve a key selector at the transaction's snapshot, merged with
     buffered writes. Clamps to [""] / {!Types.key_space_end} off the ends. *)
 
+(** {2 The unified range API}
+
+    Every range read is a {!Range_query.t}: two key-selector endpoints, a
+    row limit, a streaming mode, direction, snapshot-ness, and an optional
+    continuation cursor. {!range} evaluates one bounded batch (streaming);
+    {!range_all} drains the query to a list. The legacy entry points below
+    are thin wrappers over these two. *)
+
+type batch = {
+  batch_rows : (string * string) list;
+  batch_continuation : string option;
+      (** resume cursor — re-issue the query with
+          {!Range_query.with_continuation} (or pass [?continuation] to the
+          legacy stream call) to fetch the next batch; [None] when the
+          range is exhausted *)
+}
+
+val range : tx -> Range_query.t -> batch Fdb_sim.Future.t
+(** One bounded batch of the query, merged with buffered writes, with a
+    continuation cursor for the next batch ([None] when exhausted). Adds a
+    read conflict only over the span the batch actually observed (unless
+    [rq_snapshot]). *)
+
+val range_all : tx -> Range_query.t -> (string * string) list Fdb_sim.Future.t
+(** Drain the query: loop batches, stitching continuations, until the
+    range is exhausted or [rq_limit] rows are in hand. Non-snapshot
+    queries conflict on the whole requested range up front. *)
+
 val get_range :
   ?snapshot:bool ->
   ?limit:int ->
@@ -105,7 +168,8 @@ val get_range :
   unit ->
   (string * string) list Fdb_sim.Future.t
 (** Ordered range read of [\[from, until)], merged with buffered writes.
-    Sugar over the selector form with [first_greater_or_equal] bounds. *)
+    Deprecated sugar for [range_all] over {!Range_query.keys}; prefer the
+    unified API in new code. *)
 
 val get_range_sel :
   ?snapshot:bool ->
@@ -118,16 +182,10 @@ val get_range_sel :
   unit ->
   (string * string) list Fdb_sim.Future.t
 (** Range read between two key selectors, resolved at the storage servers
-    against the MVCC window at the transaction's read version. *)
+    against the MVCC window at the transaction's read version. Deprecated
+    sugar for [range_all] over {!Range_query.create}. *)
 
 (** {2 Streaming} *)
-
-type batch = {
-  batch_rows : (string * string) list;
-  batch_continuation : string option;
-      (** pass back as [?continuation] to fetch the next batch; [None]
-          when the range is exhausted *)
-}
 
 val get_range_stream :
   ?snapshot:bool ->
@@ -142,7 +200,8 @@ val get_range_stream :
 (** One bounded batch of [\[from, until)] with an explicit continuation
     cursor, so callers can stream arbitrarily large ranges at bounded
     memory. Each batch merges buffered writes and adds a read conflict
-    only over the span it actually observed. *)
+    only over the span it actually observed. Deprecated sugar for {!range}
+    over {!Range_query.keys}. *)
 
 val set : tx -> string -> string -> unit
 val clear : tx -> string -> unit
@@ -166,7 +225,40 @@ val add_write_conflict_range : tx -> from:string -> until:string -> unit
 val commit : tx -> Types.version Fdb_sim.Future.t
 (** Commit; the version is the transaction's commit version (0 for
     read-only transactions). Fails with a typed {!Error.t}. Idempotent:
-    repeated calls return the first outcome. *)
+    repeated calls return the first outcome. A successful commit arms any
+    {!watch}es the transaction created. *)
+
+(** {2 Watches}
+
+    A watch wakes a client when a key changes (paper §2.2: FDB watches).
+    Created inside a transaction and armed only if that transaction
+    commits, with watch version max(read version, commit version): the
+    transaction's own write to the key does not wake it, and neither does
+    anything it already observed. The client long-polls the key's storage
+    team ({!Params.watch_poll_timeout} per round), re-registering across
+    shard moves and failovers; the storage side checks its MVCC window at
+    registration so changes landing between rounds are never lost. Wakes
+    may be spurious (e.g. when no server can prove the key unchanged
+    across a recovery) — waiters re-read and re-arm; wakes are never
+    lost. *)
+
+type watch
+
+val watch : tx -> string -> watch
+(** Create a watch on a key. Buffers until {!commit}: armed on success,
+    cancelled (future fails with [Future.Cancelled]) on failure. *)
+
+val watch_future : watch -> unit Fdb_sim.Future.t
+(** Resolves when the watched key changes after the creating
+    transaction's snapshot/commit (or conservatively, see above); fails
+    with [Future.Cancelled] if the watch is cancelled. *)
+
+val watch_key : watch -> string
+
+val cancel_watch : watch -> unit
+(** Resolve the watch future with [Future.Cancelled] (idempotent; no-op
+    after the watch fired). The background poll loop winds down on its
+    next round. Always cancel watches you stop waiting on. *)
 
 val run :
   db ->

@@ -180,6 +180,8 @@ type t =
   | Ss_split_point of { spl_from : string; spl_until : string }
   | Ss_split_point_reply of { spl_key : string option }
       (* median-by-bytes key of the range, when one strictly inside exists *)
+  | Ss_watch of { w_key : string; w_version : Types.version; w_epoch : Types.epoch }
+  | Ss_watch_reply of { wr_fired : bool; wr_version : Types.version }
 
 let name = function
   | Ok_reply -> "Ok_reply"
@@ -234,5 +236,7 @@ let name = function
   | Ss_fetch_ack _ -> "Ss_fetch_ack"
   | Ss_split_point _ -> "Ss_split_point"
   | Ss_split_point_reply _ -> "Ss_split_point_reply"
+  | Ss_watch _ -> "Ss_watch"
+  | Ss_watch_reply _ -> "Ss_watch_reply"
 
 let pp fmt m = Format.pp_print_string fmt (name m)

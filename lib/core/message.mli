@@ -210,6 +210,15 @@ type t =
   | Ss_split_point of { spl_from : string; spl_until : string }
   | Ss_split_point_reply of { spl_key : string option }
       (** median-by-bytes key of the range, when one strictly inside exists *)
+  (* watches (long-poll change notification, the layer ecosystem's
+     replacement for client polling) *)
+  | Ss_watch of { w_key : string; w_version : Types.version; w_epoch : Types.epoch }
+      (** register interest in [w_key]: reply fired as soon as a mutation
+          to it applies at a version > [w_version], or not-fired after the
+          server's poll window elapses (the client re-registers) *)
+  | Ss_watch_reply of { wr_fired : bool; wr_version : Types.version }
+      (** [wr_fired = true]: the key changed at [wr_version]. [false]: no
+          change observed through [wr_version] — re-register from there *)
 
 val pp : Format.formatter -> t -> unit
 (** Constructor name only (tracing). *)

@@ -43,6 +43,14 @@ let client_read_timeout = 0.6
    per-shard sub-reads concurrently; each round-trip carries a row AND a
    byte budget so no single reply is unbounded, and oversized shards are
    drained by continuation round-trips. *)
+(* Watches (layer ecosystem). One registration long-polls on the server for
+   at most [watch_poll_timeout] simulated seconds before replying not-fired
+   with the server's current version; the client immediately re-registers
+   from that version. The poll window must sit comfortably inside the MVCC
+   window (default 5 s) so a re-registration version never falls below
+   [Version_window.oldest] on a healthy server. *)
+let watch_poll_timeout = ref 2.0
+
 let client_range_fanout = ref 4
 let range_rows_per_batch = 256
 let range_bytes_per_req = ref 65_536

@@ -72,6 +72,13 @@ val storage_read_wait : float
 val client_read_timeout : float
 (** Per-replica read attempt timeout before trying another replica. *)
 
+val watch_poll_timeout : float ref
+(** How long a StorageServer holds one watch registration before replying
+    not-fired (the client re-registers from the server's reply version).
+    Kept well under the MVCC window so re-registrations never go stale on
+    a healthy server. Mutable: chaos tests shrink it to force many
+    re-registration rounds. *)
+
 (* {2 Range-read pipeline} *)
 
 val client_range_fanout : int ref

@@ -12,6 +12,17 @@ let version_meta_key = "\xff\xff/ss/version"
 let movein_prefix = "\xff\xff/ss/movein/"
 let movein_key lo = movein_prefix ^ lo
 
+(* One registered watch: fire (fulfill the promise with the mutation's
+   version) as soon as any mutation to the watched key applies at a version
+   strictly above [we_version]. The promise is deliberately unlabeled: its
+   resolution is guaranteed by the handler's poll timer (lifecycle-sanitizer
+   convention for timer-backed promises). *)
+type watch_entry = {
+  we_id : int;
+  we_version : Types.version;
+  we_promise : Types.version Future.promise;
+}
+
 type t = {
   ctx : Context.t;
   proc : Process.t;
@@ -41,9 +52,16 @@ type t = {
          under it; pausing (a fetch lasts well under a durable interval's
          worth of window growth) removes the interleaving entirely. *)
   mutable stats_ticks : int;
+  mutable watch_seq : int;
+  watches : (string, watch_entry list) Fdb_util.Det_tbl.t;
+      (* key -> registrations in arrival order; in-memory only (a reboot
+         drops them and the clients' long-polls fail over / re-register) *)
   (* metrics plane: keyed by the storage id, which is stable across reboots *)
   obs_read_lat : Fdb_obs.Registry.timer;
   obs_reads : Fdb_obs.Registry.counter;
+  obs_range_reqs : Fdb_obs.Registry.counter;
+  obs_watch_reqs : Fdb_obs.Registry.counter;
+  obs_watch_fires : Fdb_obs.Registry.counter;
   obs_lag : Fdb_obs.Registry.gauge;
   obs_window : Fdb_obs.Registry.gauge;
   obs_busy : Fdb_obs.Registry.gauge;
@@ -121,16 +139,55 @@ let read_for_apply t v key =
   | Window.Cleared -> None
   | Window.Unknown -> Pstore.get t.pstore key
 
+(* Wake watchers of every key the (concrete) mutation touches whose watch
+   version lies below [v]. No-op when the table is empty, so runs that
+   never register a watch keep byte-identical event schedules. Promise
+   callbacks run synchronously here; the woken handlers' replies are
+   ordinary network sends. *)
+let notify_watches t v (m : Mutation.t) =
+  if Fdb_util.Det_tbl.length t.watches > 0 then begin
+    let fire key =
+      match Fdb_util.Det_tbl.find_opt t.watches key with
+      | None -> ()
+      | Some entries ->
+          let fired, keep = List.partition (fun e -> v > e.we_version) entries in
+          (match keep with
+          | [] -> Fdb_util.Det_tbl.remove t.watches key
+          | l -> Fdb_util.Det_tbl.replace t.watches key l);
+          List.iter
+            (fun e ->
+              Fdb_obs.Registry.incr t.obs_watch_fires;
+              Trace.emit "ss_watch_fire"
+                [ ("ss", string_of_int t.id); ("key", String.escaped key);
+                  ("v", Int64.to_string v) ];
+              ignore (Future.try_fulfill e.we_promise v : bool))
+            fired
+    in
+    match m with
+    | Mutation.Set (k, _) | Mutation.Clear k -> fire k
+    | Mutation.Clear_range (a, b) ->
+        (* Det_tbl folds key-sorted, so the firing order is deterministic. *)
+        let covered =
+          Fdb_util.Det_tbl.fold
+            (fun k _ acc -> if a <= k && k < b then k :: acc else acc)
+            t.watches []
+        in
+        List.iter fire (List.rev covered)
+    | Mutation.Atomic _ -> () (* materialized before reaching here *)
+  end
+
 let apply_mutation t v (m : Mutation.t) =
-  match m with
-  | Mutation.Atomic (kind, key, operand) ->
-      let old_value = read_for_apply t v key in
-      let next = Mutation.atomic_result kind ~old_value operand in
-      let concrete =
-        match next with Some value -> Mutation.Set (key, value) | None -> Mutation.Clear key
-      in
-      Window.apply t.window v concrete
-  | _ -> Window.apply t.window v m
+  let concrete =
+    match m with
+    | Mutation.Atomic (kind, key, operand) -> (
+        let old_value = read_for_apply t v key in
+        match Mutation.atomic_result kind ~old_value operand with
+        | Some value -> Mutation.Set (key, value)
+        | None -> Mutation.Clear key)
+    | m -> m
+  in
+  Window.apply t.window v concrete;
+  notify_watches t v concrete
 
 (* ---------- per-shard traffic accounting (DD's rebalancing signal) ---------- *)
 
@@ -708,6 +765,7 @@ let handle t (msg : Message.t) : Message.t Future.t =
       end
   | Message.Storage_get_range
       { gr_from; gr_until; gr_version; gr_limit; gr_byte_limit; gr_reverse; gr_epoch } ->
+      Fdb_obs.Registry.incr t.obs_range_reqs;
       if overloaded t then Future.return (Message.Reject Error.Process_behind)
       else if
         (* Buggify: an occasional spurious shed exercises the client's
@@ -811,6 +869,70 @@ let handle t (msg : Message.t) : Message.t Future.t =
   | Message.Ss_split_point { spl_from; spl_until } ->
       let* () = Engine.cpu t.proc (Params.cpu Params.storage_per_point_read) in
       Future.return (Message.Ss_split_point_reply { spl_key = split_point t ~from:spl_from ~until:spl_until })
+  | Message.Ss_watch { w_key; w_version; w_epoch } ->
+      (* Long-poll change notification (layer watches). Registration-time
+         catch-up consults the window's per-key history, so a change that
+         landed between the client's snapshot and this RPC — including one
+         embodied while the shard moved to this server — fires immediately
+         rather than being lost. *)
+      Fdb_obs.Registry.incr t.obs_watch_reqs;
+      let* current = ensure_epoch t w_epoch in
+      if not current then Future.return (Message.Reject Error.Future_version)
+      else if not (in_shards t w_key) then
+        Future.return (Message.Reject Error.Wrong_shard)
+      else if
+        (w_version < Window.oldest t.window && Window.oldest t.window > 0L)
+        || w_version < incoming_floor t w_key
+      then
+        (* The window cannot prove the key unchanged since [w_version]: the
+           client treats this as a conservative wake and re-checks. *)
+        Future.return (Message.Reject Error.Transaction_too_old)
+      else begin
+        match Window.last_change ~floor:(incoming_floor t w_key) t.window w_key with
+        | Some cv when cv > w_version ->
+            Fdb_obs.Registry.incr t.obs_watch_fires;
+            Trace.emit "ss_watch_catchup"
+              [ ("ss", string_of_int t.id); ("key", String.escaped w_key);
+                ("v", Int64.to_string cv) ];
+            Future.return (Message.Ss_watch_reply { wr_fired = true; wr_version = cv })
+        | _ ->
+            t.watch_seq <- t.watch_seq + 1;
+            let id = t.watch_seq in
+            let fut, promise = Future.make () in
+            let entry = { we_id = id; we_version = w_version; we_promise = promise } in
+            Fdb_util.Det_tbl.replace t.watches w_key
+              (match Fdb_util.Det_tbl.find_opt t.watches w_key with
+              | Some l -> l @ [ entry ]
+              | None -> [ entry ]);
+            Trace.emit "ss_watch_register"
+              [ ("ss", string_of_int t.id); ("key", String.escaped w_key) ];
+            Future.catch
+              (fun () ->
+                let* v = Engine.timeout !Params.watch_poll_timeout fut in
+                Future.return (Message.Ss_watch_reply { wr_fired = true; wr_version = v }))
+              (function
+                | Engine.Timed_out ->
+                    (* Poll window over: drop the registration (re-reading
+                       the table — rule R5, the poll yielded) and resolve
+                       the promise so nothing dangles. *)
+                    (match Fdb_util.Det_tbl.find_opt t.watches w_key with
+                    | Some l -> (
+                        match List.filter (fun e -> e.we_id <> id) l with
+                        | [] -> Fdb_util.Det_tbl.remove t.watches w_key
+                        | l -> Fdb_util.Det_tbl.replace t.watches w_key l)
+                    | None -> ());
+                    ignore (Future.try_break promise Engine.Timed_out : bool);
+                    if not (in_shards t w_key) then
+                      (* The shard moved away mid-poll: a registration here
+                         would never fire again — send the client back to
+                         re-resolution. *)
+                      Future.return (Message.Reject Error.Wrong_shard)
+                    else
+                      Future.return
+                        (Message.Ss_watch_reply
+                           { wr_fired = false; wr_version = t.version })
+                | e -> Future.fail e)
+      end
   | _ -> Future.return (Message.Reject (Error.Internal "storage: unexpected message"))
 
 let rec create ctx proc ~id ~disk =
@@ -883,6 +1005,17 @@ let rec create ctx proc ~id ~disk =
       shard_read_ctrs = Fdb_util.Det_tbl.create ~size:32 ();
       shard_write_ctrs = Fdb_util.Det_tbl.create ~size:32 ();
       shard_size_gauges = Fdb_util.Det_tbl.create ~size:32 ();
+      watch_seq = 0;
+      watches = Fdb_util.Det_tbl.create ~size:16 ();
+      obs_range_reqs =
+        Fdb_obs.Registry.counter ctx.Context.metrics ~role:Fdb_obs.Registry.Storage
+          ~process:id "range_requests";
+      obs_watch_reqs =
+        Fdb_obs.Registry.counter ctx.Context.metrics ~role:Fdb_obs.Registry.Storage
+          ~process:id "watch_requests";
+      obs_watch_fires =
+        Fdb_obs.Registry.counter ctx.Context.metrics ~role:Fdb_obs.Registry.Storage
+          ~process:id "watch_fires";
     }
   in
   publish_stats t;

@@ -81,6 +81,29 @@ let read ?(floor = Int64.min_int) t version key =
       if (tv, tseq) > (ev, seq) then Cleared
       else ( match set with Some v -> Value v | None -> Cleared)
 
+(* Newest version at which anything in the window touched [key] — per-key
+   events and covering range clears both count. Registration-time catch-up
+   for watches: a watcher at version w with [last_change > w] missed a
+   change and must be woken immediately. *)
+let last_change ?(floor = Int64.min_int) t key =
+  let key_v =
+    match KeyMap.find_opt key t.per_key with
+    | Some ({ ev; _ } :: _) when ev > floor -> Some ev (* newest first *)
+    | _ -> None
+  in
+  let tomb_v =
+    List.fold_left
+      (fun acc (v, _, a, b) ->
+        if v > floor && a <= key && key < b then
+          match acc with Some v' when v' >= v -> acc | _ -> Some v
+        else acc)
+      None t.tombstones
+  in
+  match (key_v, tomb_v) with
+  | None, None -> None
+  | Some v, None | None, Some v -> Some v
+  | Some a, Some b -> Some (if a > b then a else b)
+
 let keys_in_range t ~from ~until =
   KeyMap.to_seq_from from t.per_key
   |> Seq.take_while (fun (k, _) -> k < until)

@@ -30,6 +30,12 @@ val read : ?floor:int64 -> t -> int64 -> string -> read_result
 val keys_in_range : t -> from:string -> until:string -> string list
 (** Keys with any window event in [\[from, until)], ascending. *)
 
+val last_change : ?floor:int64 -> t -> string -> int64 option
+(** Newest version (> [floor]) at which any window event — per-key or a
+    covering range clear — touched the key; [None] if the window holds no
+    such event. Watch registration uses this for catch-up: a watcher at
+    version [w] with [last_change > w] already missed its change. *)
+
 val cleared_ranges_at : ?floor:int64 -> t -> int64 -> (string * string) list
 (** Range clears visible at the version (to mask persistent-store keys),
     excluding those at versions <= [floor]. *)

@@ -1,0 +1,159 @@
+open Fdb_sim
+open Future.Syntax
+module Tuple = Fdb_core.Tuple
+module Types = Fdb_core.Types
+module Client = Fdb_core.Client
+module Range_query = Fdb_core.Range_query
+module Mutation = Fdb_kv.Mutation
+
+(* Directory metadata lives under the raw prefix 0xFE (just below the
+   user-keyspace ceiling 0xFF); allocated directory contents live under
+   0xFD. Both are ordinary user keys as far as the database core is
+   concerned — the layer owns the convention, exactly as in FDB. *)
+let node_root = Subspace.of_raw "\xfe"
+let content_root = "\xfd"
+
+let comps path = List.map (fun c -> Tuple.String c) path
+
+(* The node key of a path carries the depth so that listing the children
+   of [p] is one range scan over ("node", depth+1, p...) — flat keys, no
+   per-level indirection. Its value is the directory's allocated raw
+   prefix. *)
+let node_key path =
+  Subspace.pack node_root
+    (Tuple.String "node" :: Tuple.Int (Int64.of_int (List.length path)) :: comps path)
+
+let children_space path =
+  Subspace.sub node_root
+    (Tuple.String "node"
+    :: Tuple.Int (Int64.of_int (List.length path + 1))
+    :: comps path)
+
+(* ---------- the high-contention allocator ---------- *)
+
+(* Faithful to FDB's HCA: candidate ids are drawn randomly from a sliding
+   window so concurrent allocators rarely collide; a window-utilization
+   counter (maintained with conflict-free atomic adds) advances the window
+   once it is half full. The only conflict-bearing operation is the final
+   claim — a plain read + set of recent\[candidate\] — so two transactions
+   claiming the same id conflict and one retries, which is exactly the
+   uniqueness guarantee. *)
+
+let hca_counters = Subspace.sub node_root [ Tuple.String "hca"; Tuple.Int 0L ]
+let hca_recent = Subspace.sub node_root [ Tuple.String "hca"; Tuple.Int 1L ]
+
+let le64 n =
+  String.init 8 (fun i -> Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical n (8 * i)) 0xFFL)))
+
+let of_le64 s =
+  let n = ref 0L in
+  for i = min 7 (String.length s - 1) downto 0 do
+    n := Int64.logor (Int64.shift_left !n 8) (Int64.of_int (Char.code s.[i]))
+  done;
+  !n
+
+let window_size start =
+  if start < 255 then 64 else if start < 65535 then 1024 else 8192
+
+let rec allocate tx =
+  (* Where does the current window start? Newest counter key, snapshot
+     read: allocators must not conflict with each other here. *)
+  let c_from, c_until = Subspace.range hca_counters in
+  let* rows =
+    Client.range_all tx
+      (Range_query.keys ~snapshot:true ~reverse:true ~limit:1 ~from:c_from
+         ~until:c_until ())
+  in
+  let start =
+    match rows with
+    | [] -> 0
+    | (k, _) :: _ -> (
+        match Subspace.unpack hca_counters k with
+        | [ Tuple.Int n ] -> Int64.to_int n
+        | _ -> 0)
+  in
+  let wsz = window_size start in
+  let counter_key = Subspace.pack hca_counters [ Tuple.Int (Int64.of_int start) ] in
+  Client.atomic_op tx Mutation.Add counter_key (le64 1L);
+  let* count = Client.get ~snapshot:true tx counter_key in
+  let count = match count with Some v -> Int64.to_int (of_le64 v) | None -> 0 in
+  if count * 2 > wsz then begin
+    (* Window half full: advance it and retire the old window's state
+       (conflict-free — everyone advancing writes the same clears). *)
+    let next = start + wsz in
+    Client.clear_range tx ~from:c_from
+      ~until:(Subspace.pack hca_counters [ Tuple.Int (Int64.of_int next) ]);
+    Client.clear_range tx
+      ~from:(fst (Subspace.range hca_recent))
+      ~until:(Subspace.pack hca_recent [ Tuple.Int (Int64.of_int next) ]);
+    allocate tx
+  end
+  else begin
+    let candidate = start + Engine.random_int wsz in
+    let claim_key = Subspace.pack hca_recent [ Tuple.Int (Int64.of_int candidate) ] in
+    (* Plain (conflict-adding) read: two claimants of the same id conflict
+       at the Resolver and one of them retries. *)
+    let* existing = Client.get tx claim_key in
+    match existing with
+    | Some _ -> allocate tx
+    | None ->
+        Client.set tx claim_key "";
+        Future.return candidate
+  end
+
+let prefix_of_id id = content_root ^ Tuple.pack [ Tuple.Int (Int64.of_int id) ]
+
+(* ---------- the directory tree ---------- *)
+
+let open_ tx path =
+  if path = [] then Future.return (Some (Subspace.of_raw content_root))
+  else
+    let* v = Client.get tx (node_key path) in
+    Future.return (Option.map Subspace.of_raw v)
+
+let exists tx path =
+  let* v = open_ tx path in
+  Future.return (v <> None)
+
+let rec create_or_open tx path =
+  match path with
+  | [] -> Future.return (Subspace.of_raw content_root)
+  | _ -> (
+      let* existing = Client.get tx (node_key path) in
+      match existing with
+      | Some prefix -> Future.return (Subspace.of_raw prefix)
+      | None ->
+          let parent = List.filteri (fun i _ -> i < List.length path - 1) path in
+          let* _parent = create_or_open tx parent in
+          let* id = allocate tx in
+          let prefix = prefix_of_id id in
+          Client.set tx (node_key path) prefix;
+          Future.return (Subspace.of_raw prefix))
+
+let list tx path =
+  let ss = children_space path in
+  let* rows = Client.range_all tx (Subspace.query ~limit:100_000 ss ()) in
+  Future.return
+    (List.filter_map
+       (fun (k, _) ->
+         match Subspace.unpack ss k with [ Tuple.String c ] -> Some c | _ -> None)
+       rows)
+
+let rec remove tx path =
+  if path = [] then invalid_arg "Directory.remove: cannot remove the root";
+  let* existing = Client.get tx (node_key path) in
+  match existing with
+  | None -> Future.return false
+  | Some prefix ->
+      let* children = list tx path in
+      let rec drain = function
+        | [] -> Future.return ()
+        | c :: rest ->
+            let* (_ : bool) = remove tx (path @ [ c ]) in
+            drain rest
+      in
+      let* () = drain children in
+      let c_from, c_until = Types.range_of_prefix prefix in
+      Client.clear_range tx ~from:c_from ~until:c_until;
+      Client.clear tx (node_key path);
+      Future.return true

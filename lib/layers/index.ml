@@ -1,0 +1,254 @@
+open Fdb_sim
+open Future.Syntax
+module Tuple = Fdb_core.Tuple
+module Types = Fdb_core.Types
+module Client = Fdb_core.Client
+module Range_query = Fdb_core.Range_query
+module Mutation = Fdb_kv.Mutation
+
+type def =
+  | Value of {
+      name : string;
+      extract : pkey:string -> value:string -> Tuple.t list;
+    }
+  | Counter of { name : string; group : pkey:string -> value:string -> Tuple.t }
+  | Versionstamp of { name : string }
+
+type store = { ss : Subspace.t; defs : def list }
+
+let create ss defs = { ss; defs }
+let subspace st = st.ss
+
+let le64 n =
+  String.init 8 (fun i ->
+      Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical n (8 * i)) 0xFFL)))
+
+let of_le64 s =
+  let n = ref 0L in
+  for i = min 7 (String.length s - 1) downto 0 do
+    n := Int64.logor (Int64.shift_left !n 8) (Int64.of_int (Char.code s.[i]))
+  done;
+  !n
+
+(* Key layout inside the store's subspace:
+     ("r", pkey)                     -> record value
+     ("i", name, entry..., pkey)     -> ""        (value index)
+     ("c", name, group...)           -> LE64      (counter aggregate)
+     ("v", name) ^ stamp ^ (pkey)    -> ""        (versionstamp changelog) *)
+
+let record_key st pkey = Subspace.pack st.ss [ Tuple.String "r"; Tuple.Bytes pkey ]
+let records_space st = Subspace.sub st.ss [ Tuple.String "r" ]
+
+let value_entry_key st name entry pkey =
+  Subspace.pack st.ss
+    (Tuple.String "i" :: Tuple.String name :: (entry @ [ Tuple.Bytes pkey ]))
+
+let counter_key st name group =
+  Subspace.pack st.ss (Tuple.String "c" :: Tuple.String name :: group)
+
+let vs_prefix st name = Subspace.pack st.ss [ Tuple.String "v"; Tuple.String name ]
+
+(* ---------- transactional maintenance ---------- *)
+
+(* The invariant: every index mutation rides in the same transaction as
+   the base-record write, derived from the record's old value — which is
+   read with a normal (conflict-adding) read, so a concurrent writer of
+   the same record serializes at the Resolver rather than corrupting the
+   index. Counters use conflict-free atomic adds; the changelog uses a
+   versionstamped key minted at commit. *)
+
+let apply_defs st tx pkey ~old_value ~new_value =
+  List.iter
+    (fun def ->
+      match def with
+      | Value { name; extract } ->
+          let old_entries =
+            match old_value with
+            | None -> []
+            | Some ov -> extract ~pkey ~value:ov
+          in
+          let new_entries =
+            match new_value with
+            | None -> []
+            | Some nv -> extract ~pkey ~value:nv
+          in
+          List.iter
+            (fun e ->
+              if not (List.mem e new_entries) then
+                Client.clear tx (value_entry_key st name e pkey))
+            old_entries;
+          List.iter
+            (fun e ->
+              if not (List.mem e old_entries) then
+                Client.set tx (value_entry_key st name e pkey) "")
+            new_entries
+      | Counter { name; group } ->
+          (match old_value with
+          | Some ov ->
+              Client.atomic_op tx Mutation.Add
+                (counter_key st name (group ~pkey ~value:ov))
+                (le64 (-1L))
+          | None -> ());
+          (match new_value with
+          | Some nv ->
+              Client.atomic_op tx Mutation.Add
+                (counter_key st name (group ~pkey ~value:nv))
+                (le64 1L)
+          | None -> ())
+      | Versionstamp { name } ->
+          if new_value <> None then
+            let p = vs_prefix st name in
+            Client.set_versionstamped_key tx
+              ~template:(p ^ Client.versionstamp_placeholder ^ Tuple.pack [ Tuple.Bytes pkey ])
+              ~offset:(String.length p) ~value:"")
+    st.defs
+
+let set st tx pkey value =
+  let* old_value = Client.get tx (record_key st pkey) in
+  apply_defs st tx pkey ~old_value ~new_value:(Some value);
+  Client.set tx (record_key st pkey) value;
+  Future.return ()
+
+let clear st tx pkey =
+  let* old_value = Client.get tx (record_key st pkey) in
+  match old_value with
+  | None -> Future.return ()
+  | Some _ ->
+      apply_defs st tx pkey ~old_value ~new_value:None;
+      Client.clear tx (record_key st pkey);
+      Future.return ()
+
+(* ---------- reads ---------- *)
+
+let get st tx pkey = Client.get tx (record_key st pkey)
+
+let scan ?(snapshot = false) ?(limit = 100_000) st tx =
+  let r_ss = records_space st in
+  let* rows = Client.range_all tx (Subspace.query ~snapshot ~limit r_ss ()) in
+  Future.return
+    (List.filter_map
+       (fun (k, v) ->
+         match Subspace.unpack r_ss k with
+         | [ Tuple.Bytes p ] -> Some (p, v)
+         | _ -> None)
+       rows)
+
+let lookup ?(limit = 100_000) st tx ~index ~entry =
+  let e_ss =
+    Subspace.sub st.ss (Tuple.String "i" :: Tuple.String index :: entry)
+  in
+  let* rows = Client.range_all tx (Subspace.query ~limit e_ss ()) in
+  (* [entry] may be a prefix of the extracted tuple: whatever remains of
+     the entry still precedes the trailing pkey element. *)
+  Future.return
+    (List.filter_map
+       (fun (k, _) ->
+         match List.rev (Subspace.unpack e_ss k) with
+         | Tuple.Bytes p :: _ -> Some p
+         | _ -> None)
+       rows)
+
+let counter_value st tx ~index ~group =
+  let* v = Client.get tx (counter_key st index group) in
+  Future.return (match v with None -> 0L | Some s -> of_le64 s)
+
+let changes ?(limit = 100_000) st tx ~index =
+  let p = vs_prefix st index in
+  let from, until = Types.range_of_prefix p in
+  let* rows = Client.range_all tx (Range_query.keys ~limit ~from ~until ()) in
+  let plen = String.length p in
+  Future.return
+    (List.filter_map
+       (fun (k, _) ->
+         if String.length k < plen + 10 then None
+         else
+           let stamp = String.sub k plen 10 in
+           match
+             Tuple.unpack (String.sub k (plen + 10) (String.length k - plen - 10))
+           with
+           | [ Tuple.Bytes pkey ] -> Some (stamp, pkey)
+           | _ -> None
+           | exception _ -> None)
+       rows)
+
+(* ---------- the consistency oracle ---------- *)
+
+(* One snapshot transaction recomputes what every index should contain
+   from the base records and diffs it against what is actually stored.
+   Returns human-readable discrepancies; [] means the maintenance
+   invariant held. The versionstamp changelog is append-only history, so
+   it is checked only for well-formedness. *)
+let verify st tx =
+  let* records = scan ~snapshot:true st tx in
+  let issues = ref [] in
+  let report fmt = Format.kasprintf (fun s -> issues := s :: !issues) fmt in
+  let rec drain = function
+    | [] -> Future.return ()
+    | Value { name; extract } :: rest ->
+        let expected =
+          List.sort_uniq compare
+            (List.concat_map
+               (fun (p, v) ->
+                 List.map
+                   (fun e -> value_entry_key st name e p)
+                   (extract ~pkey:p ~value:v))
+               records)
+        in
+        let i_ss = Subspace.sub st.ss [ Tuple.String "i"; Tuple.String name ] in
+        let* actual_rows =
+          Client.range_all tx (Subspace.query ~snapshot:true ~limit:1_000_000 i_ss ())
+        in
+        let actual = List.map fst actual_rows in
+        List.iter
+          (fun k ->
+            if not (List.mem k actual) then
+              report "index %s: missing entry %s" name (String.escaped k))
+          expected;
+        List.iter
+          (fun k ->
+            if not (List.mem k expected) then
+              report "index %s: stale entry %s" name (String.escaped k))
+          actual;
+        drain rest
+    | Counter { name; group } :: rest ->
+        let expected = Fdb_util.Det_tbl.create ~size:16 () in
+        List.iter
+          (fun (p, v) ->
+            let k = counter_key st name (group ~pkey:p ~value:v) in
+            Fdb_util.Det_tbl.replace expected k
+              (Int64.add 1L
+                 (Option.value ~default:0L (Fdb_util.Det_tbl.find_opt expected k))))
+          records;
+        let c_ss = Subspace.sub st.ss [ Tuple.String "c"; Tuple.String name ] in
+        let* actual_rows =
+          Client.range_all tx (Subspace.query ~snapshot:true ~limit:1_000_000 c_ss ())
+        in
+        List.iter
+          (fun (k, v) ->
+            let want =
+              Option.value ~default:0L (Fdb_util.Det_tbl.find_opt expected k)
+            in
+            let got = of_le64 v in
+            if got <> want then
+              report "counter %s: %s holds %Ld, expected %Ld" name
+                (String.escaped k) got want;
+            Fdb_util.Det_tbl.remove expected k)
+          actual_rows;
+        Fdb_util.Det_tbl.iter
+          (fun k want ->
+            if want <> 0L then
+              report "counter %s: %s missing, expected %Ld" name
+                (String.escaped k) want)
+          expected;
+        drain rest
+    | Versionstamp { name } :: rest ->
+        let* entries = changes st tx ~index:name in
+        List.iter
+          (fun (stamp, _) ->
+            if String.length stamp <> 10 then
+              report "changelog %s: malformed stamp" name)
+          entries;
+        drain rest
+  in
+  let* () = drain st.defs in
+  Future.return (List.rev !issues)

@@ -1,0 +1,32 @@
+module Tuple = Fdb_core.Tuple
+module Types = Fdb_core.Types
+module Range_query = Fdb_core.Range_query
+
+type t = { prefix : string }
+
+let of_raw prefix = { prefix }
+let create tuple = { prefix = Tuple.pack tuple }
+let sub t tuple = { prefix = t.prefix ^ Tuple.pack tuple }
+let prefix t = t.prefix
+let pack t tuple = t.prefix ^ Tuple.pack tuple
+
+let contains t key = String.starts_with ~prefix:t.prefix key
+
+let unpack t key =
+  if not (contains t key) then invalid_arg "Subspace.unpack: key outside subspace";
+  let plen = String.length t.prefix in
+  Tuple.unpack (String.sub key plen (String.length key - plen))
+
+(* Every key that packs a tuple inside the subspace: tuple encodings never
+   begin with 0x00 or 0xff (those are terminator / reserved bytes), so
+   [prefix 0x00, prefix 0xff) brackets them exactly — the standard FDB
+   subspace range. *)
+let range t = (t.prefix ^ "\x00", t.prefix ^ "\xff")
+
+(* Every key that merely starts with the raw prefix (includes the bare
+   prefix key itself and non-tuple suffixes). *)
+let full_range t = Types.range_of_prefix t.prefix
+
+let query ?limit ?mode ?reverse ?snapshot ?continuation t () =
+  let from, until = range t in
+  Range_query.keys ?limit ?mode ?reverse ?snapshot ?continuation ~from ~until ()

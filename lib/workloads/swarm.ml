@@ -11,6 +11,7 @@ type report = {
   rotations : int;
   soup_committed : int;
   dd_moves : int;
+  layer_ops : int;
   shard_checksum : int64;
   oracle_failures : string list;
   buggify_points : string list;
@@ -160,7 +161,8 @@ let quiesce_movement ctx =
   in
   wait 40
 
-let run_one ?(buggify = true) ?(duration = 60.0) ?(dd_movement = false) ~seed () =
+let run_one ?(buggify = true) ?(duration = 60.0) ?(dd_movement = false)
+    ?(layers = false) ~seed () =
   with_dd_params ~enabled:dd_movement @@ fun () ->
   let report =
     Engine.run ~seed ~max_time:3600.0 ~buggify (fun () ->
@@ -194,10 +196,20 @@ let run_one ?(buggify = true) ?(duration = 60.0) ?(dd_movement = false) ~seed ()
         if dd_movement then mover_job cluster ~until:stop_at ~rng:(Rng.split rng)
         else Future.return 0
       in
+      (* Layer soak is gated exactly like the mover: with [layers] off, no
+         RNG split, no client, no trace events — the run stays
+         byte-identical to the pre-layer baseline. *)
+      let layer_job =
+        if layers then
+          let* h = Layer_soak.run cluster ~until:stop_at ~rng:(Rng.split rng) () in
+          Future.return (Some h)
+        else Future.return None
+      in
       let* bank_stats = bank_job
       and* ring_stats = ring_job
       and* soup_stats = soup_job
       and* dd_moves = mover
+      and* layer_handle = layer_job
       and* () = fault_job in
       let* () =
         if dd_movement then quiesce_movement (Cluster.context cluster)
@@ -219,11 +231,17 @@ let run_one ?(buggify = true) ?(duration = 60.0) ?(dd_movement = false) ~seed ()
           let* ring_res = Ring.check check_db ~n:ring_nodes in
           let* cons_res = Consistency_check.check cluster in
           let ser_res = Serializability_checker.verify checker in
+          let* layer_res =
+            match layer_handle with
+            | None -> Future.return []
+            | Some h -> Layer_soak.check cluster h
+          in
           let collect name = function Ok () -> [] | Error m -> [ name ^ ": " ^ m ] in
           Future.return
             (collect "bank" bank_res @ collect "ring" ring_res
             @ collect "consistency" cons_res
-            @ collect "serializability" ser_res)
+            @ collect "serializability" ser_res
+            @ List.map (fun m -> "layers: " ^ m) layer_res)
         end
       in
       (* Metrics-plane oracle: role statistics must satisfy their sanity
@@ -239,6 +257,8 @@ let run_one ?(buggify = true) ?(duration = 60.0) ?(dd_movement = false) ~seed ()
           rotations = ring_stats.Ring.rotations;
           soup_committed = soup_stats.Random_ops.committed;
           dd_moves;
+          layer_ops =
+            (match layer_handle with None -> 0 | Some h -> Layer_soak.ops h);
           shard_checksum =
             Shard_map.history_checksum (Cluster.context cluster).Context.shard_map;
           oracle_failures = failures @ metrics_failures;
@@ -258,9 +278,9 @@ let run_one ?(buggify = true) ?(duration = 60.0) ?(dd_movement = false) ~seed ()
    checksum, so a diverging shard-move schedule fails even if it somehow
    produced the same event stream. Any divergence means something outside
    the seeded-RNG / virtual-time envelope leaked into the run. *)
-let check_determinism ?buggify ?duration ?dd_movement ~seed () =
-  let a = run_one ?buggify ?duration ?dd_movement ~seed () in
-  let b = run_one ?buggify ?duration ?dd_movement ~seed () in
+let check_determinism ?buggify ?duration ?dd_movement ?layers ~seed () =
+  let a = run_one ?buggify ?duration ?dd_movement ?layers ~seed () in
+  let b = run_one ?buggify ?duration ?dd_movement ?layers ~seed () in
   if not (Int64.equal a.trace_checksum b.trace_checksum) then
     Error (a.trace_checksum, b.trace_checksum)
   else if not (Int64.equal a.shard_checksum b.shard_checksum) then
@@ -275,6 +295,7 @@ let pp_report fmt r =
     r.trace_checksum r.shard_checksum
     (if r.oracle_failures = [] then "PASS"
      else "FAIL [" ^ String.concat "; " r.oracle_failures ^ "]");
+  if r.layer_ops > 0 then Format.fprintf fmt " layer_ops=%d" r.layer_ops;
   if r.buggify_points <> [] then
     Format.fprintf fmt " buggify={%s}" (String.concat "," r.buggify_points);
   let lc = r.lifecycle in

@@ -17,6 +17,9 @@ type report = {
   rotations : int;
   soup_committed : int;
   dd_moves : int;  (** shard moves committed by the swarm's mover job *)
+  layer_ops : int;
+      (** committed layer operations (record upserts/deletes, queue
+          enqueues/claims) by the {!Layer_soak} job; 0 when layers are off *)
   shard_checksum : int64;
       (** {!Fdb_core.Shard_map.history_checksum} at run end: fingerprint of
           the full split/merge/move schedule *)
@@ -33,17 +36,28 @@ type report = {
 }
 
 val run_one :
-  ?buggify:bool -> ?duration:float -> ?dd_movement:bool -> seed:int64 -> unit -> report
+  ?buggify:bool ->
+  ?duration:float ->
+  ?dd_movement:bool ->
+  ?layers:bool ->
+  seed:int64 ->
+  unit ->
+  report
 (** Run one randomized simulation (NOT inside an existing engine run).
     [dd_movement] (default false) enables the DataDistributor's rebalancer
     with aggressive thresholds {e and} a mover job that fires random
     splits, merges and fetch-then-cutover moves throughout the run, then
-    quiesces movement before the oracles. *)
+    quiesces movement before the oracles. [layers] (default false) adds
+    the {!Layer_soak} job — directory-housed record stores with
+    transactional indexes plus a watch-driven queue — and its
+    index-consistency and exactly-once oracles. With [layers] off the run
+    is byte-identical to a build without the layer ecosystem. *)
 
 val check_determinism :
   ?buggify:bool ->
   ?duration:float ->
   ?dd_movement:bool ->
+  ?layers:bool ->
   seed:int64 ->
   unit ->
   (report, int64 * int64) result

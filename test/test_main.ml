@@ -24,6 +24,8 @@ let () =
       ("log-server", Test_log_server.suite);
       ("resolver", Test_resolver.suite);
       ("task-bucket", Test_task_bucket.suite);
+      ("watch", Test_watch.suite);
+      ("layers", Test_layers.suite);
       ("crash-consistency", Test_crash_consistency.suite);
       ("types", Test_types.suite);
       ("lint", Test_lint.suite);

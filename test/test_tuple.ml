@@ -102,6 +102,77 @@ let qcheck_order =
       let packed = compare (T.pack a) (T.pack b) in
       (natural < 0) = (packed < 0) && (natural = 0) = (packed = 0))
 
+(* Adversarial ordering property: int64 size-class boundaries, empty
+   strings/bytes, and deep nesting — the places where length-prefixed or
+   size-coded encodings typically diverge from natural tuple order. *)
+
+let boundary_ints =
+  let shifts = [ 8; 16; 24; 32; 40; 48; 56 ] in
+  let around =
+    List.concat_map
+      (fun s ->
+        let b = Int64.shift_left 1L s in
+        [ Int64.sub b 1L; b; Int64.add b 1L; Int64.neg (Int64.sub b 1L);
+          Int64.neg b; Int64.neg (Int64.add b 1L) ])
+      shifts
+  in
+  [ 0L; 1L; -1L; Int64.max_int; Int64.min_int;
+    Int64.add Int64.min_int 1L; Int64.sub Int64.max_int 1L ]
+  @ around
+
+let adversarial_element =
+  let open QCheck.Gen in
+  sized
+  @@ fix (fun self n ->
+         let base =
+           oneof
+             [
+               return T.Null;
+               return (T.Bytes "");
+               return (T.String "");
+               map (fun s -> T.Bytes s)
+                 (string_size ~gen:(oneofl [ '\x00'; '\x01'; 'a'; '\xfe'; '\xff' ])
+                    (int_range 0 4));
+               map (fun s -> T.String s)
+                 (string_size ~gen:(oneofl [ '\x00'; 'a'; '\xff' ]) (int_range 0 4));
+               map (fun i -> T.Int i) (oneofl boundary_ints);
+               map (fun i -> T.Int (Int64.of_int i)) (int_range (-1000) 1000);
+               map (fun b -> T.Bool b) bool;
+             ]
+         in
+         if n <= 1 then base
+         else
+           frequency
+             [
+               (3, base);
+               (2, map (fun l -> T.Nested l) (list_size (int_range 0 3) (self (n / 2))));
+             ])
+
+let adversarial_tuple =
+  QCheck.make
+    ~print:(Format.asprintf "%a" T.pp)
+    QCheck.Gen.(list_size (int_range 0 4) adversarial_element)
+
+let qcheck_order_adversarial =
+  QCheck.Test.make ~name:"tuple order at encoding boundaries" ~count:2000
+    (QCheck.pair adversarial_tuple adversarial_tuple) (fun (a, b) ->
+      let natural = T.compare_elements a b in
+      let packed = compare (T.pack a) (T.pack b) in
+      (natural < 0) = (packed < 0) && (natural = 0) = (packed = 0))
+
+let test_boundary_ints_exhaustive () =
+  let ts = List.map (fun i -> [ T.Int i ]) boundary_ints in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let natural = T.compare_elements a b in
+          let packed = compare (T.pack a) (T.pack b) in
+          if (natural < 0) <> (packed < 0) || (natural = 0) <> (packed = 0) then
+            Alcotest.failf "int boundary order mismatch: %a vs %a" T.pp a T.pp b)
+        ts)
+    ts
+
 let suite =
   [
     Alcotest.test_case "roundtrip samples" `Quick test_roundtrip;
@@ -110,4 +181,7 @@ let suite =
     Alcotest.test_case "subspace prefix" `Quick test_subspace_prefix;
     QCheck_alcotest.to_alcotest qcheck_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_order;
+    Alcotest.test_case "int64 boundary order exhaustive" `Quick
+      test_boundary_ints_exhaustive;
+    QCheck_alcotest.to_alcotest qcheck_order_adversarial;
   ]
